@@ -1,0 +1,51 @@
+"""Shared driver for the per-figure benchmarks.
+
+Each ``benchmarks/test_figN.py`` calls :func:`regenerate` with its figure
+id and shape assertions. The benchmark clock measures one full figure
+regeneration (every cell, one repetition) at the selected scale; the
+regenerated table — the same rows/series the paper's plot reports — is
+printed and written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Callable, Optional
+
+from repro.experiments.figures import get_figure
+from repro.experiments.report import render_csv, render_table
+from repro.experiments.runner import FigureResult, run_figure
+
+
+def write_result(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Persist (and echo) one regenerated table."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(text, encoding="utf-8")
+    print(text)
+
+
+def regenerate(
+    benchmark,
+    bench_scale,
+    results_dir,
+    figure_id: str,
+    check_shape: Optional[Callable[[FigureResult], None]] = None,
+    repetitions: int = 1,
+) -> FigureResult:
+    """Regenerate one paper figure under the benchmark clock."""
+    spec = get_figure(figure_id)
+    result = benchmark.pedantic(
+        run_figure,
+        args=(spec, bench_scale),
+        kwargs={"repetitions": repetitions},
+        rounds=1,
+        iterations=1,
+    )
+    text = render_table(result)
+    write_result(results_dir, f"{figure_id}_{bench_scale.name}", text)
+    write_result(
+        results_dir, f"{figure_id}_{bench_scale.name}_csv", render_csv(result)
+    )
+    if check_shape is not None:
+        check_shape(result)
+    return result

@@ -1,0 +1,69 @@
+"""Ablation: builder strategies head to head (incl. the GMC extension).
+
+Compares all five builders (paper's four plus GMC) bare and under the
+full optimizer stack, on the r=2 zero-slack workload. Tests the paper's
+§4.2 rationale for GOLCF's object-at-a-time order against the global
+greedy alternative.
+"""
+
+import numpy as np
+import pytest
+
+from figure_bench import write_result
+from repro.core import build_pipeline
+from repro.workloads.regular import paper_instance
+
+BUILDERS = ["RDF", "GSDF", "AR", "GOLCF", "GMC"]
+REPS = 3
+
+
+def test_builder_comparison(benchmark, bench_scale, results_dir):
+    instance = paper_instance(
+        replicas=2,
+        num_servers=bench_scale.num_servers,
+        num_objects=bench_scale.num_objects,
+        rng=bench_scale.base_seed,
+    )
+
+    def run_all():
+        rows = []
+        for name in BUILDERS:
+            bare_costs, bare_dums, full_costs, full_dums = [], [], [], []
+            for seed in range(REPS):
+                bare = build_pipeline(name).run(instance, rng=seed)
+                full = build_pipeline(f"{name}+H1+H2+OP1").run(instance, rng=seed)
+                bare_costs.append(bare.cost(instance))
+                bare_dums.append(bare.count_dummy_transfers(instance))
+                full_costs.append(full.cost(instance))
+                full_dums.append(full.count_dummy_transfers(instance))
+            rows.append(
+                (
+                    name,
+                    float(np.mean(bare_costs)),
+                    float(np.mean(bare_dums)),
+                    float(np.mean(full_costs)),
+                    float(np.mean(full_dums)),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    lines = [
+        "builder comparison (bare vs +H1+H2+OP1)",
+        f"{'builder':<8} {'bare cost':>14} {'bare dum':>9} "
+        f"{'full cost':>14} {'full dum':>9}",
+    ]
+    for name, bc, bd, fc, fd in rows:
+        lines.append(f"{name:<8} {bc:>14,.0f} {bd:>9.1f} {fc:>14,.0f} {fd:>9.1f}")
+    write_result(
+        results_dir,
+        f"builder_comparison_{bench_scale.name}",
+        "\n".join(lines) + "\n",
+    )
+    by_name = {name: (bc, bd, fc, fd) for name, bc, bd, fc, fd in rows}
+    # cost-aware greedies beat the random baselines
+    assert by_name["GOLCF"][0] < by_name["RDF"][0]
+    assert by_name["GMC"][0] < by_name["AR"][0]
+    # the optimizer stack helps every builder
+    for name in BUILDERS:
+        assert by_name[name][2] <= by_name[name][0] + 1e-9

@@ -1,0 +1,60 @@
+"""Ablation: sensitivity to the dummy-cost constant ``a`` (DESIGN.md 4).
+
+The paper fixes ``a = 1`` (§5.1). Sweeping ``a`` shows (i) the dummy
+count of dummy-minimising pipelines is insensitive to ``a`` — they
+count, not weigh, dummies — and (ii) the *cost* penalty of the remaining
+dummies scales linearly, which is exactly why H1+H2's savings grow with
+``a``.
+"""
+
+import pytest
+
+from figure_bench import write_result
+from repro.core import build_pipeline
+from repro.workloads.regular import paper_instance
+
+A_VALUES = [0.5, 1.0, 2.0, 4.0]
+
+
+def test_dummy_constant_sweep(benchmark, bench_scale, results_dir):
+    def sweep():
+        rows = []
+        for a in A_VALUES:
+            inst = paper_instance(
+                replicas=2,
+                num_servers=bench_scale.num_servers,
+                num_objects=bench_scale.num_objects,
+                dummy_constant=a,
+                rng=bench_scale.base_seed,
+            )
+            golcf = build_pipeline("GOLCF").run(inst, rng=0)
+            winner = build_pipeline("GOLCF+H1+H2+OP1").run(inst, rng=0)
+            rows.append(
+                (
+                    a,
+                    golcf.count_dummy_transfers(inst),
+                    golcf.cost(inst),
+                    winner.count_dummy_transfers(inst),
+                    winner.cost(inst),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "dummy-cost constant sweep (GOLCF vs GOLCF+H1+H2+OP1)",
+        f"{'a':>5} {'golcf_dum':>10} {'golcf_cost':>14} "
+        f"{'winner_dum':>11} {'winner_cost':>14} {'saving':>8}",
+    ]
+    for a, gd, gc, wd, wc in rows:
+        lines.append(
+            f"{a:>5g} {gd:>10d} {gc:>14,.0f} {wd:>11d} {wc:>14,.0f} "
+            f"{1 - wc / gc:>7.1%}"
+        )
+    write_result(
+        results_dir, f"dummy_constant_{bench_scale.name}", "\n".join(lines) + "\n"
+    )
+    # winner never has more dummies, and its saving grows with a
+    savings = [1 - wc / gc for _, _, gc, _, wc in rows]
+    assert all(wd <= gd for _, gd, _, wd, _ in rows)
+    assert savings[-1] >= savings[0] - 1e-9

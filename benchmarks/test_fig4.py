@@ -1,0 +1,23 @@
+"""Benchmark: regenerate paper Figure 4.
+
+Dummy transfers vs. replicas per object (equal sizes), series AR,
+AR+H1+H2, GOLCF, GOLCF+H1+H2. Expected shape: dummies fall with
+replicas; H1+H2 nearly nullify them from two replicas on.
+"""
+
+from figure_bench import regenerate
+
+
+def check_shape(result) -> None:
+    for base in ("AR", "GOLCF"):
+        series = result.series(base)
+        improved = result.series(f"{base}+H1+H2")
+        # H1+H2 never worse, and dummies shrink as replicas grow
+        assert all(i <= b + 1e-9 for i, b in zip(improved, series))
+        assert series[0] >= series[-1]
+    r2 = result.spec.x_values.index(2)
+    assert result.series("GOLCF+H1+H2")[r2] <= 2.0
+
+
+def test_fig4_regenerate(benchmark, bench_scale, results_dir):
+    regenerate(benchmark, bench_scale, results_dir, "fig4", check_shape)

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate paper Figure 5.
+
+Implementation cost vs. replicas per object (equal sizes), series AR,
+GOLCF, GOLCF+OP1, GOLCF+H1+H2+OP1. Expected shape: the winner pipeline
+is cheapest at every x; GOLCF undercuts AR.
+"""
+
+import numpy as np
+
+from figure_bench import regenerate
+
+
+def check_shape(result) -> None:
+    winner = np.array(result.series("GOLCF+H1+H2+OP1"))
+    for other in ("AR", "GOLCF", "GOLCF+OP1"):
+        assert (winner <= np.array(result.series(other)) + 1e-9).all()
+    assert np.mean(result.series("GOLCF")) < np.mean(result.series("AR"))
+
+
+def test_fig5_regenerate(benchmark, bench_scale, results_dir):
+    regenerate(benchmark, bench_scale, results_dir, "fig5", check_shape)

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate paper Figure 6.
+
+Dummy transfers vs. replicas per object (uniform sizes in [1000, 5000]),
+GOLCF variants only. Expected shape: H1+H2 jointly give the largest
+dummy reduction; dummies fall as replicas grow.
+"""
+
+from figure_bench import regenerate
+
+
+def check_shape(result) -> None:
+    golcf = result.series("GOLCF")
+    h1h2 = result.series("GOLCF+H1+H2")
+    assert all(o <= b + 1e-9 for o, b in zip(h1h2, golcf))
+    assert golcf[0] >= golcf[-1]
+    # the joint pass is at least as strong as either alone
+    for single in ("GOLCF+H1", "GOLCF+H2"):
+        assert sum(h1h2) <= sum(result.series(single)) + 1e-9
+
+
+def test_fig6_regenerate(benchmark, bench_scale, results_dir):
+    regenerate(benchmark, bench_scale, results_dir, "fig6", check_shape)

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate paper Figure 7.
+
+Implementation cost vs. replicas per object (uniform sizes). Expected
+shape: GOLCF+H1+H2+OP1 saves substantially over GOLCF+OP1, driven by the
+removed dummy transfers.
+"""
+
+import numpy as np
+
+from figure_bench import regenerate
+
+
+def check_shape(result) -> None:
+    winner = np.array(result.series("GOLCF+H1+H2+OP1"))
+    for other in ("GOLCF", "GOLCF+OP1"):
+        assert (winner <= np.array(result.series(other)) + 1e-9).all()
+
+
+def test_fig7_regenerate(benchmark, bench_scale, results_dir):
+    regenerate(benchmark, bench_scale, results_dir, "fig7", check_shape)

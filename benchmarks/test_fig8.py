@@ -1,0 +1,23 @@
+"""Benchmark: regenerate paper Figure 8.
+
+Dummy transfers vs. number of servers with one extra object of storage
+(r = 2, equal sizes). Expected shape: standalone GOLCF is nearly flat;
+GOLCF+H1+H2 exploits the slack and its dummy count falls toward zero.
+"""
+
+from figure_bench import regenerate
+
+
+def check_shape(result) -> None:
+    golcf = result.series("GOLCF")
+    h1h2 = result.series("GOLCF+H1+H2")
+    assert all(o <= b + 1e-9 for o, b in zip(h1h2, golcf))
+    # slack helps the H1+H2 pipeline
+    assert h1h2[-1] <= h1h2[0]
+    assert h1h2[-1] <= 1.0
+    # ... far more than it helps plain GOLCF (whose curve stays high)
+    assert min(golcf) >= max(h1h2) - 1e-9
+
+
+def test_fig8_regenerate(benchmark, bench_scale, results_dir):
+    regenerate(benchmark, bench_scale, results_dir, "fig8", check_shape)

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate paper Figure 9.
+
+Implementation cost vs. servers with extra capacity (r = 2). Expected
+shape: GOLCF+H1+H2+OP1 under GOLCF+OP1 at every slack level.
+"""
+
+import numpy as np
+
+from figure_bench import regenerate
+
+
+def check_shape(result) -> None:
+    base = np.array(result.series("GOLCF+OP1"))
+    winner = np.array(result.series("GOLCF+H1+H2+OP1"))
+    assert (winner <= base + 1e-9).all()
+    assert (winner < base - 1e-9).any()
+
+
+def test_fig9_regenerate(benchmark, bench_scale, results_dir):
+    regenerate(benchmark, bench_scale, results_dir, "fig9", check_shape)

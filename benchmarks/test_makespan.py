@@ -1,0 +1,62 @@
+"""Extension benchmark: makespan across pipelines (timing substrate).
+
+The paper's pipelines optimise cost, not completion time. This bench
+simulates each pipeline's schedule on cost-derived bandwidths with one
+incoming/outgoing transfer slot per server, recording makespan, critical
+path and achieved parallelism — the groundwork for the paper's
+deadline-constrained future work.
+"""
+
+import pytest
+
+from figure_bench import write_result
+from repro.core import build_pipeline
+from repro.timing import bandwidths_from_costs, simulate_parallel
+from repro.workloads.regular import paper_instance
+
+PIPELINES = ["RDF", "GSDF", "GOLCF", "GOLCF+H1+H2+OP1"]
+
+
+def test_makespan_by_pipeline(benchmark, bench_scale, results_dir):
+    instance = paper_instance(
+        replicas=2,
+        num_servers=bench_scale.num_servers,
+        num_objects=bench_scale.num_objects,
+        rng=bench_scale.base_seed,
+    )
+    bandwidths = bandwidths_from_costs(instance.costs, scale=50_000.0)
+
+    def run_all():
+        rows = []
+        for spec in PIPELINES:
+            schedule = build_pipeline(spec).run(instance, rng=1)
+            result = simulate_parallel(schedule, instance, bandwidths)
+            rows.append(
+                (
+                    spec,
+                    schedule.cost(instance),
+                    result.makespan,
+                    result.critical_path,
+                    result.speedup,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    lines = [
+        "makespan by pipeline (1 in / 1 out slot per server)",
+        f"{'pipeline':<18} {'cost':>14} {'makespan':>12} "
+        f"{'critical':>12} {'speedup':>8}",
+    ]
+    for spec, cost, makespan, critical, speedup in rows:
+        lines.append(
+            f"{spec:<18} {cost:>14,.0f} {makespan:>12,.1f} "
+            f"{critical:>12,.1f} {speedup:>7.2f}x"
+        )
+    write_result(
+        results_dir, f"makespan_{bench_scale.name}", "\n".join(lines) + "\n"
+    )
+    # sanity: simulation invariants hold for every pipeline
+    for _, _, makespan, critical, speedup in rows:
+        assert critical <= makespan + 1e-6
+        assert speedup >= 1.0

@@ -1,0 +1,53 @@
+"""Ablation: OP1's restart policy (DESIGN.md ablation 2).
+
+The paper restarts the scan from position 0 after every accepted change;
+continuing in place is asymptotically cheaper. This bench times both on
+the same AR schedule and records the cost each policy reaches — the
+written table shows the quality/time trade-off.
+"""
+
+import pytest
+
+from figure_bench import write_result
+from repro.core import get_builder
+from repro.core.optimizers.op1 import OP1ReorderTransfers
+from repro.workloads.regular import paper_instance
+
+
+@pytest.fixture(scope="module")
+def instance(bench_scale):
+    return paper_instance(
+        replicas=3,
+        num_servers=bench_scale.num_servers,
+        num_objects=bench_scale.num_objects,
+        rng=bench_scale.base_seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def ar_schedule(instance):
+    return get_builder("AR").build(instance, rng=3)
+
+
+@pytest.mark.parametrize("restart", [True, False], ids=["restart", "continue"])
+def test_op1_restart_policy(
+    benchmark, restart, instance, ar_schedule, results_dir, bench_scale
+):
+    optimizer = OP1ReorderTransfers(restart=restart)
+    out = benchmark.pedantic(
+        optimizer.optimize, args=(instance, ar_schedule), rounds=1, iterations=1
+    )
+    assert out.validate(instance).ok
+    base_cost = ar_schedule.cost(instance)
+    cost = out.cost(instance)
+    assert cost <= base_cost + 1e-9
+    write_result(
+        results_dir,
+        f"op1_{'restart' if restart else 'continue'}_{bench_scale.name}",
+        (
+            f"OP1 restart={restart} [scale={bench_scale.name}]\n"
+            f"AR base cost : {base_cost:,.0f}\n"
+            f"OP1 cost     : {cost:,.0f}\n"
+            f"saving       : {1 - cost / base_cost:.2%}\n"
+        ),
+    )

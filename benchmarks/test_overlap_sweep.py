@@ -1,0 +1,55 @@
+"""Extension benchmark: sensitivity to placement overlap (DESIGN.md 5).
+
+The paper evaluates only the hardest setting — 0% overlap between
+``X_old`` and ``X_new``. Production placement churn is usually partial;
+this sweep shows the cost and dummy counts of the winner pipeline shrink
+roughly linearly as overlap rises (fewer outstanding replicas to move).
+"""
+
+import pytest
+
+from figure_bench import write_result
+from repro.core import build_pipeline
+from repro.workloads.regular import paper_instance
+
+OVERLAPS = [0.0, 0.25, 0.5, 0.75]
+
+
+def test_overlap_sweep(benchmark, bench_scale, results_dir):
+    def sweep():
+        rows = []
+        for overlap in OVERLAPS:
+            inst = paper_instance(
+                replicas=2,
+                num_servers=bench_scale.num_servers,
+                num_objects=bench_scale.num_objects,
+                overlap=overlap,
+                rng=bench_scale.base_seed,
+            )
+            schedule = build_pipeline("GOLCF+H1+H2+OP1").run(inst, rng=0)
+            outstanding, _ = inst.diff_counts()
+            rows.append(
+                (
+                    overlap,
+                    outstanding,
+                    schedule.count_dummy_transfers(inst),
+                    schedule.cost(inst),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "overlap sweep (GOLCF+H1+H2+OP1)",
+        f"{'overlap':>8} {'outstanding':>12} {'dummies':>8} {'cost':>14}",
+    ]
+    for overlap, outstanding, dummies, cost in rows:
+        lines.append(
+            f"{overlap:>8.2f} {outstanding:>12d} {dummies:>8d} {cost:>14,.0f}"
+        )
+    write_result(
+        results_dir, f"overlap_sweep_{bench_scale.name}", "\n".join(lines) + "\n"
+    )
+    # more overlap => less churn => lower cost
+    costs = [cost for *_, cost in rows]
+    assert costs == sorted(costs, reverse=True)

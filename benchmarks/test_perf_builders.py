@@ -1,0 +1,30 @@
+"""Performance micro-benchmarks: schedule builders.
+
+Times each builder on one shared instance at the selected scale. These
+set the baseline against which the optimizer passes are judged (the
+paper's pipelines re-run the builders once per experiment cell).
+"""
+
+import pytest
+
+from repro.core import get_builder
+from repro.workloads.regular import paper_instance
+
+BUILDERS = ["RDF", "GSDF", "AR", "GOLCF"]
+
+
+@pytest.fixture(scope="module")
+def instance(bench_scale):
+    return paper_instance(
+        replicas=2,
+        num_servers=bench_scale.num_servers,
+        num_objects=bench_scale.num_objects,
+        rng=bench_scale.base_seed,
+    )
+
+
+@pytest.mark.parametrize("name", BUILDERS)
+def test_builder_speed(benchmark, name, instance):
+    builder = get_builder(name)
+    schedule = benchmark(builder.build, instance, rng=0)
+    assert schedule.validate(instance).ok

@@ -1,0 +1,60 @@
+"""Performance micro-benchmarks: H1, H2 and OP1.
+
+Each optimizer runs over pre-built schedules. H1/H2 are measured on an
+RDF schedule (many dummies: their worst case); OP1 on an AR schedule
+(random transfer order: its best case for finding reorderings).
+"""
+
+import pytest
+
+from repro.core import get_builder, get_optimizer
+from repro.workloads.regular import paper_instance
+
+
+@pytest.fixture(scope="module")
+def instance(bench_scale):
+    return paper_instance(
+        replicas=2,
+        num_servers=bench_scale.num_servers,
+        num_objects=bench_scale.num_objects,
+        rng=bench_scale.base_seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def rdf_schedule(instance):
+    return get_builder("RDF").build(instance, rng=1)
+
+
+@pytest.fixture(scope="module")
+def ar_schedule(instance):
+    return get_builder("AR").build(instance, rng=1)
+
+
+@pytest.mark.parametrize("name", ["H1", "H2"])
+def test_dummy_minimizer_speed(benchmark, name, instance, rdf_schedule):
+    optimizer = get_optimizer(name)
+    out = benchmark.pedantic(
+        optimizer.optimize, args=(instance, rdf_schedule), rounds=3, iterations=1
+    )
+    assert out.count_dummy_transfers(instance) <= rdf_schedule.count_dummy_transfers(
+        instance
+    )
+
+
+def test_op1_speed(benchmark, instance, ar_schedule):
+    optimizer = get_optimizer("OP1")
+    out = benchmark.pedantic(
+        optimizer.optimize, args=(instance, ar_schedule), rounds=3, iterations=1
+    )
+    assert out.cost(instance) <= ar_schedule.cost(instance) + 1e-9
+
+
+def test_full_winner_pipeline_speed(benchmark, instance):
+    from repro.core import build_pipeline
+
+    pipeline = build_pipeline("GOLCF+H1+H2+OP1")
+    out = benchmark.pedantic(
+        pipeline.run, args=(instance,), kwargs={"rng": 0}, rounds=3, iterations=1
+    )
+    assert out.validate(instance).ok

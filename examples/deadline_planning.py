@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Deadline planning: cost vs. completion time of RTSP schedules.
+
+The paper minimises transfer cost and leaves time budgets as future work
+(§2.2). This demo uses the timing substrate to ask the operational
+question: *the nightly maintenance window is T time units — which
+pipeline's schedule fits, and what does fitting cost?*
+
+Bandwidths are derived from the cost matrix (expensive paths are slow
+paths); each server moves one replica in and one out at a time.
+
+Run:  python examples/deadline_planning.py
+"""
+
+from repro import build_pipeline, paper_instance
+from repro.timing import bandwidths_from_costs, simulate_parallel
+from repro.timing.gantt import render_gantt
+
+PIPELINES = ["RDF", "GSDF", "GOLCF", "GOLCF+H1+H2+OP1"]
+
+
+def main() -> None:
+    instance = paper_instance(replicas=2, num_servers=12, num_objects=36, rng=9)
+    bandwidths = bandwidths_from_costs(instance.costs, scale=50_000.0)
+
+    print(f"instance: {instance}\n")
+    print(f"{'pipeline':<18} {'cost':>12} {'makespan':>10} {'critical':>10} "
+          f"{'speedup':>8}")
+    print("-" * 64)
+    results = {}
+    for spec in PIPELINES:
+        schedule = build_pipeline(spec).run(instance, rng=1)
+        report = schedule.validate(instance)
+        assert report.ok, report.message
+        result = simulate_parallel(schedule, instance, bandwidths)
+        results[spec] = (schedule, result)
+        print(
+            f"{spec:<18} {report.cost:>12,.0f} {result.makespan:>10,.1f} "
+            f"{result.critical_path:>10,.1f} {result.speedup:>7.2f}x"
+        )
+
+    # pick a deadline between the best and worst makespan and report fit
+    spans = [r.makespan for _, r in results.values()]
+    deadline = (min(spans) + max(spans)) / 2
+    print(f"\nmaintenance window: {deadline:,.1f} time units")
+    for spec, (schedule, result) in results.items():
+        verdict = "fits" if result.makespan <= deadline else "misses"
+        print(f"  {spec:<18} {verdict} "
+              f"({result.makespan:,.1f} vs {deadline:,.1f})")
+
+    winner = "GOLCF+H1+H2+OP1"
+    print(f"\nexecution plan for {winner}:")
+    print(render_gantt(results[winner][1], instance.num_servers))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Quickstart: build an RTSP instance and schedule it with every pipeline.
+
+Creates a paper-style instance (BRITE-like 20-server tree, 100 objects,
+2 replicas each, fully reshuffled placements, zero storage slack), runs
+the paper's pipelines on it, and prints a comparison table: the winner
+GOLCF+H1+H2+OP1 should show the lowest cost and (near-)zero dummy
+transfers.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import build_pipeline, paper_instance, schedule_stats
+from repro.analysis.bounds import universal_lower_bound, worst_case_upper_bound
+
+PIPELINES = [
+    "RDF",
+    "GSDF",
+    "AR",
+    "GOLCF",
+    "AR+H1+H2",
+    "GOLCF+H1+H2",
+    "GOLCF+OP1",
+    "GOLCF+H1+H2+OP1",
+]
+
+
+def main() -> None:
+    instance = paper_instance(
+        replicas=2, num_servers=20, num_objects=100, rng=2007
+    )
+    print(f"instance: {instance}")
+    print(f"cost lower bound : {universal_lower_bound(instance):,.0f}")
+    print(f"worst-case bound : {worst_case_upper_bound(instance):,.0f}")
+    print()
+    print(f"{'pipeline':<18} {'cost':>14} {'dummies':>8} {'actions':>8}")
+    print("-" * 52)
+    for spec in PIPELINES:
+        schedule = build_pipeline(spec).run(instance, rng=42)
+        report = schedule.validate(instance)
+        assert report.ok, f"{spec} produced an invalid schedule: {report.message}"
+        stats = schedule_stats(schedule, instance)
+        print(
+            f"{spec:<18} {stats.cost:>14,.0f} "
+            f"{stats.num_dummy_transfers:>8} {stats.num_actions:>8}"
+        )
+
+
+if __name__ == "__main__":
+    main()

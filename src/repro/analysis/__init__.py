@@ -1,0 +1,58 @@
+"""Feasibility analysis, transfer graphs, bounds and schedule metrics.
+
+* :mod:`repro.analysis.transfer_graph` — the directed transfer graph of
+  paper Fig. 1(b) and its cycle structure,
+* :mod:`repro.analysis.feasibility` — deadlock indicators and sufficient
+  feasibility conditions,
+* :mod:`repro.analysis.bounds` — lower/upper bounds on implementation cost,
+* :mod:`repro.analysis.metrics` — the two metrics the paper reports plus
+  general schedule statistics,
+* :mod:`repro.analysis.examples` — the paper's worked instances (Fig. 1
+  deadlock, Fig. 3 walkthrough network).
+"""
+
+from repro.analysis.transfer_graph import (
+    build_transfer_graph,
+    transfer_graph_cycles,
+    has_transfer_cycle,
+)
+from repro.analysis.feasibility import (
+    FeasibilitySummary,
+    analyze_feasibility,
+    deadlock_risk_servers,
+    is_trivially_sequenceable,
+)
+from repro.analysis.bounds import (
+    universal_lower_bound,
+    nearest_source_bound,
+    worst_case_upper_bound,
+)
+from repro.analysis.metrics import (
+    ScheduleStats,
+    schedule_stats,
+    implementation_cost,
+    count_dummy_transfers,
+)
+from repro.analysis.examples import (
+    fig1_deadlock_instance,
+    fig3_example_instance,
+)
+
+__all__ = [
+    "build_transfer_graph",
+    "transfer_graph_cycles",
+    "has_transfer_cycle",
+    "FeasibilitySummary",
+    "analyze_feasibility",
+    "deadlock_risk_servers",
+    "is_trivially_sequenceable",
+    "universal_lower_bound",
+    "nearest_source_bound",
+    "worst_case_upper_bound",
+    "ScheduleStats",
+    "schedule_stats",
+    "implementation_cost",
+    "count_dummy_transfers",
+    "fig1_deadlock_instance",
+    "fig3_example_instance",
+]

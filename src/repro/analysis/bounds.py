@@ -1,0 +1,80 @@
+"""Implementation-cost bounds.
+
+Used by tests to sandwich heuristic results and by the experiment harness
+to report optimality gaps that do not require the (exponential) exact
+solver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.instance import RtspInstance
+
+
+def universal_lower_bound(instance: RtspInstance) -> float:
+    """Lower bound valid for *every* schedule.
+
+    Each outstanding replica ``(i, k)`` requires at least one transfer onto
+    ``S_i``, and whatever the source — an old replicator, a freshly created
+    copy, or the dummy — it is some server ``j != i``, so the transfer costs
+    at least ``s(O_k) * min_{j != i} l_ij``.
+    """
+    total = 0.0
+    costs = instance.costs[: instance.num_servers + 1, : instance.num_servers + 1]
+    outstanding = instance.outstanding()
+    for i, k in zip(*np.nonzero(outstanding)):
+        row = costs[i].copy()
+        row[i] = np.inf
+        total += float(instance.sizes[k]) * float(row.min())
+    return total
+
+
+def nearest_source_bound(instance: RtspInstance) -> float:
+    """Tighter estimate: cheapest *plausible* source per outstanding replica.
+
+    Sources are restricted to servers that hold the object in ``X_old`` or
+    will hold it in ``X_new`` (plus the dummy). This is the exact optimum
+    for instances where no intermediate staging helps; schedules that stage
+    replicas on third-party servers (H2-style) can in rare cases beat it,
+    so treat it as an estimate, not a certified bound. It is, however, a
+    certified lower bound for the common case where ``l`` obeys the
+    triangle inequality (shortest-path matrices always do): relaying an
+    object through a third server can then never be cheaper than the direct
+    cheapest plausible source.
+    """
+    total = 0.0
+    outstanding = instance.outstanding()
+    either = (instance.x_old | instance.x_new).astype(bool)
+    for i, k in zip(*np.nonzero(outstanding)):
+        candidates = np.flatnonzero(either[:, k])
+        best = instance.costs[i, instance.dummy]
+        for j in candidates:
+            if j != i:
+                best = min(best, instance.costs[i, j])
+        total += float(instance.sizes[k]) * float(best)
+    return total
+
+
+def worst_case_upper_bound(instance: RtspInstance) -> float:
+    """Cost of the paper's worst-case fallback schedule (§3.3).
+
+    Delete every replica on every real server, then fetch *all* of
+    ``X_new`` from the dummy server. Every valid minimal-cost schedule
+    costs no more than this.
+    """
+    dummy_cost = instance.dummy_cost
+    new_replicas = instance.x_new.astype(np.float64)
+    per_object_units = new_replicas.sum(axis=0) * instance.sizes
+    return float(per_object_units.sum() * dummy_cost)
+
+
+def optimality_gap(instance: RtspInstance, achieved_cost: float) -> float:
+    """Relative gap of ``achieved_cost`` over :func:`universal_lower_bound`.
+
+    Returns 0 when the lower bound is zero (nothing to transfer).
+    """
+    lb = universal_lower_bound(instance)
+    if lb <= 0.0:
+        return 0.0
+    return (achieved_cost - lb) / lb

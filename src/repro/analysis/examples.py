@@ -1,0 +1,89 @@
+"""The paper's worked example instances.
+
+* :func:`fig1_deadlock_instance` — Fig. 1: four single-slot servers whose
+  outstanding transfers form a directed cycle; no dummy-free schedule
+  exists.
+* :func:`fig3_example_instance` — Fig. 3: the four-server, four-object
+  network used to walk through RDF, GSDF, H1 and H2 in §4.1.
+
+Objects are indexed A=0, B=1, C=2, D=3 and servers S1..S4 map to 0..3.
+Fig. 3 prints only two link costs explicitly (``l_34 = 1 < l_14 = 2``);
+the remaining entries here are chosen to be consistent with every
+source-selection decision the paper's walkthroughs make (see the module
+tests, which re-derive those decisions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.instance import RtspInstance
+
+#: Object name to index mapping used by the examples and their tests.
+OBJECTS = {"A": 0, "B": 1, "C": 2, "D": 3}
+
+
+def fig1_deadlock_instance(dummy_constant: float = 1.0) -> RtspInstance:
+    """Paper Fig. 1: the canonical infeasible (deadlocked) RTSP statement.
+
+    Four servers, four unit-size objects, every server has capacity for
+    exactly one object. ``X_old`` places A,B,C,D on S1..S4; ``X_new``
+    cyclically shifts them (S1 wants D, S2 wants A, S3 wants B, S4 wants
+    C). The transfer graph is a 4-cycle and no server can receive before
+    deleting, so without the dummy server no valid schedule exists.
+    """
+    sizes = np.ones(4)
+    capacities = np.ones(4)
+    costs = np.ones((4, 4)) - np.eye(4)
+    x_old = np.eye(4, dtype=np.int8)  # S_i holds object i
+    # S1<-D, S2<-A, S3<-B, S4<-C : a cyclic shift of the identity.
+    x_new = np.roll(np.eye(4, dtype=np.int8), shift=-1, axis=1)
+    return RtspInstance.create(
+        sizes, capacities, costs, x_old, x_new, dummy_constant=dummy_constant
+    )
+
+
+def fig3_example_instance(dummy_constant: float = 1.0) -> RtspInstance:
+    """Paper Fig. 3: the worked four-server example of §4.1.
+
+    Placement (derived from the schedules printed in the paper):
+
+    ========  ==========  ==========
+    server    X_old       X_new
+    ========  ==========  ==========
+    S1        {A, B}      {B, D}
+    S2        {C, D}      {A, B}
+    S3        {B, C}      {C, D}
+    S4        {A, B}      {C, D}
+    ========  ==========  ==========
+
+    All objects have unit size; every server stores exactly two objects in
+    both schemes and has capacity 2 (zero slack). Link costs: the paper
+    states ``l_34 = 1`` and ``l_14 = 2``; the others are reconstructed so
+    that every nearest-source choice in the paper's RDF/GSDF walkthroughs
+    is reproduced (S2 pulls A and B from S1; S4 pulls C from S3 and D from
+    S3 over S1).
+    """
+    sizes = np.ones(4)
+    capacities = np.full(4, 2.0)
+    #       S1   S2   S3   S4
+    costs = np.array(
+        [
+            [0.0, 1.0, 3.0, 2.0],
+            [1.0, 0.0, 2.0, 3.0],
+            [3.0, 2.0, 0.0, 1.0],
+            [2.0, 3.0, 1.0, 0.0],
+        ]
+    )
+    A, B, C, D = OBJECTS["A"], OBJECTS["B"], OBJECTS["C"], OBJECTS["D"]
+    x_old = np.zeros((4, 4), dtype=np.int8)
+    x_new = np.zeros((4, 4), dtype=np.int8)
+    for server, objs in enumerate(([A, B], [C, D], [B, C], [A, B])):
+        for k in objs:
+            x_old[server, k] = 1
+    for server, objs in enumerate(([B, D], [A, B], [C, D], [C, D])):
+        for k in objs:
+            x_new[server, k] = 1
+    return RtspInstance.create(
+        sizes, capacities, costs, x_old, x_new, dummy_constant=dummy_constant
+    )

@@ -1,0 +1,132 @@
+"""Feasibility indicators for RTSP instances (paper §3.3).
+
+Deciding whether a schedule *without any dummy transfer* exists is as hard
+as RTSP itself, so this module provides:
+
+* a cheap *sufficient* condition (:func:`is_trivially_sequenceable`) under
+  which a dummy-free schedule certainly exists, and
+* structural *risk* indicators (:func:`deadlock_risk_servers`,
+  :func:`analyze_feasibility`) that flag the cyclic tight-storage pattern
+  of the paper's Fig. 1.
+
+With the dummy server the extended problem is always solvable as long as
+``X_old``/``X_new`` fit their capacities; ``RtspInstance.check_feasible``
+enforces that invariant at construction time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set
+
+import numpy as np
+
+from repro.analysis.transfer_graph import (
+    has_transfer_cycle,
+    objects_without_source,
+    sole_source_arcs,
+)
+from repro.model.instance import RtspInstance
+
+
+@dataclass(frozen=True)
+class FeasibilitySummary:
+    """Structural feasibility report for an instance.
+
+    Attributes
+    ----------
+    storage_feasible:
+        Both schemes fit server capacities (hard requirement).
+    trivially_sequenceable:
+        A dummy-free schedule provably exists (sufficient condition:
+        every server can stage its incoming replicas without deleting,
+        or no transfer ever depends on a deleted sole source).
+    transfer_cycle:
+        The transfer graph contains a directed cycle.
+    zero_slack_servers:
+        Servers whose capacity equals their ``X_old`` load exactly and
+        which must both receive and delete — the deadlock-prone set.
+    forced_dummy_objects:
+        Outstanding objects with no old replicator at all: each costs at
+        least one unavoidable dummy transfer.
+    """
+
+    storage_feasible: bool
+    trivially_sequenceable: bool
+    transfer_cycle: bool
+    zero_slack_servers: List[int]
+    forced_dummy_objects: Set[int]
+
+    @property
+    def deadlock_possible(self) -> bool:
+        """Whether the Fig.-1 pattern (cycle + tight storage) is present."""
+        return self.transfer_cycle and bool(self.zero_slack_servers)
+
+
+def is_trivially_sequenceable(instance: RtspInstance, eps: float = 1e-9) -> bool:
+    """Sufficient condition for a dummy-free schedule to exist.
+
+    True when transfers can be globally ordered "receive before delete":
+    every server has enough *slack* (capacity minus ``X_old`` load) to hold
+    all its outstanding replicas on top of its old load. Then all transfers
+    can run first (each from an intact old source) and all deletions last.
+    Also requires every outstanding object to have at least one old
+    replicator.
+    """
+    if objects_without_source(instance):
+        return False
+    slack = instance.capacities - instance.old_loads()
+    incoming = instance.outstanding().astype(np.float64) @ instance.sizes
+    return bool((incoming <= slack + eps).all())
+
+
+def deadlock_risk_servers(instance: RtspInstance, eps: float = 1e-9) -> List[int]:
+    """Servers that must delete before they can receive.
+
+    A server is at risk when its slack under ``X_old`` is smaller than the
+    size of some outstanding replica it must receive — it cannot accept
+    that replica without deleting first, which is the precondition for the
+    paper's deadlock.
+    """
+    slack = instance.capacities - instance.old_loads()
+    outstanding = instance.outstanding()
+    risky: List[int] = []
+    for i in range(instance.num_servers):
+        objs = np.flatnonzero(outstanding[i])
+        if objs.size and float(instance.sizes[objs].min()) > slack[i] + eps:
+            risky.append(i)
+    return risky
+
+
+def analyze_feasibility(instance: RtspInstance) -> FeasibilitySummary:
+    """Produce a :class:`FeasibilitySummary` for ``instance``."""
+    try:
+        instance.check_feasible()
+        storage_ok = True
+    except Exception:
+        storage_ok = False
+    slack = instance.capacities - instance.old_loads()
+    outstanding = instance.outstanding()
+    superfluous = instance.superfluous()
+    zero_slack = [
+        int(i)
+        for i in range(instance.num_servers)
+        if slack[i] <= 1e-9 and outstanding[i].any() and superfluous[i].any()
+    ]
+    return FeasibilitySummary(
+        storage_feasible=storage_ok,
+        trivially_sequenceable=is_trivially_sequenceable(instance),
+        transfer_cycle=has_transfer_cycle(instance),
+        zero_slack_servers=zero_slack,
+        forced_dummy_objects=objects_without_source(instance),
+    )
+
+
+def minimum_dummy_transfers(instance: RtspInstance) -> int:
+    """A lower bound on dummy transfers any valid schedule must contain.
+
+    Each outstanding object with no replicator anywhere in ``X_old`` needs
+    its first copy from the dummy server; everything else can in principle
+    be served from real sources.
+    """
+    return len(objects_without_source(instance))

@@ -1,0 +1,81 @@
+"""Schedule metrics.
+
+The paper reports two quantities per experiment cell: the number of dummy
+transfers left in the schedule and the implementation cost. This module
+computes those plus auxiliary statistics the extended harness records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.model.actions import Delete, Transfer
+from repro.model.instance import RtspInstance
+from repro.model.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class ScheduleStats:
+    """Aggregate statistics of one schedule against its instance."""
+
+    num_actions: int
+    num_transfers: int
+    num_deletions: int
+    num_dummy_transfers: int
+    cost: float
+    dummy_cost_share: float
+    max_position_dummy: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dict view for CSV/report writers."""
+        return {
+            "num_actions": self.num_actions,
+            "num_transfers": self.num_transfers,
+            "num_deletions": self.num_deletions,
+            "num_dummy_transfers": self.num_dummy_transfers,
+            "cost": self.cost,
+            "dummy_cost_share": self.dummy_cost_share,
+            "max_position_dummy": self.max_position_dummy,
+        }
+
+
+def implementation_cost(schedule: Schedule, instance: RtspInstance) -> float:
+    """Implementation cost of ``schedule`` (paper eq. 1)."""
+    return schedule.cost(instance)
+
+
+def count_dummy_transfers(schedule: Schedule, instance: RtspInstance) -> int:
+    """Number of transfers sourced from the dummy server."""
+    return schedule.count_dummy_transfers(instance)
+
+
+def schedule_stats(schedule: Schedule, instance: RtspInstance) -> ScheduleStats:
+    """Compute :class:`ScheduleStats` in one pass over the schedule."""
+    num_transfers = 0
+    num_deletions = 0
+    num_dummy = 0
+    cost = 0.0
+    dummy_cost = 0.0
+    last_dummy_pos = -1
+    dummy = instance.dummy
+    for idx, action in enumerate(schedule):
+        if isinstance(action, Transfer):
+            num_transfers += 1
+            c = instance.transfer_cost(action.target, action.obj, action.source)
+            cost += c
+            if action.source == dummy:
+                num_dummy += 1
+                dummy_cost += c
+                last_dummy_pos = idx
+        elif isinstance(action, Delete):
+            num_deletions += 1
+    return ScheduleStats(
+        num_actions=len(schedule),
+        num_transfers=num_transfers,
+        num_deletions=num_deletions,
+        num_dummy_transfers=num_dummy,
+        cost=cost,
+        dummy_cost_share=(dummy_cost / cost) if cost > 0 else 0.0,
+        max_position_dummy=last_dummy_pos,
+    )

@@ -1,0 +1,96 @@
+"""The transfer graph of paper §3.3 (Fig. 1b).
+
+Nodes are servers; for each *outstanding* replica (one that must be created
+to reach ``X_new``) there is an arc from every potential source — every
+server replicating the object in ``X_old`` — to the destination, labelled
+with the object. Cyclic structure in this graph combined with tight
+storage is the paper's deadlock mechanism: to receive, a server must first
+delete, which may destroy the only source of another pending transfer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.model.instance import RtspInstance
+
+
+def build_transfer_graph(instance: RtspInstance) -> nx.MultiDiGraph:
+    """Build the transfer multigraph for ``instance``.
+
+    Each arc carries an ``obj`` attribute naming the outstanding object.
+    Arcs are only drawn from *real* sources (the dummy server is omitted:
+    it exists precisely to break the structure this graph exposes).
+    """
+    g = nx.MultiDiGraph()
+    g.add_nodes_from(range(instance.num_servers))
+    outstanding = instance.outstanding()
+    x_old = instance.x_old
+    for target, obj in zip(*np.nonzero(outstanding)):
+        sources = np.flatnonzero(x_old[:, obj])
+        for src in sources:
+            g.add_edge(int(src), int(target), obj=int(obj))
+    return g
+
+
+def transfer_graph_cycles(
+    instance: RtspInstance, limit: int = 1000
+) -> List[List[int]]:
+    """Enumerate (up to ``limit``) simple cycles of the transfer graph.
+
+    Cycles are returned as node lists. The count is capped because cycle
+    enumeration is exponential in the worst case; callers that only need a
+    yes/no answer should use :func:`has_transfer_cycle`.
+    """
+    cycles: List[List[int]] = []
+    if limit <= 0:
+        return cycles
+    g = build_transfer_graph(instance)
+    for cyc in nx.simple_cycles(g):
+        cycles.append([int(u) for u in cyc])
+        if len(cycles) >= limit:
+            break
+    return cycles
+
+
+def has_transfer_cycle(instance: RtspInstance) -> bool:
+    """Whether the transfer graph contains any directed cycle."""
+    g = build_transfer_graph(instance)
+    try:
+        nx.find_cycle(g)
+        return True
+    except nx.NetworkXNoCycle:
+        return False
+
+
+def sole_source_arcs(instance: RtspInstance) -> List[Tuple[int, int, int]]:
+    """Arcs ``(source, target, obj)`` where ``source`` is the *only* old
+    replicator of ``obj``.
+
+    Deleting such a source before serving its arc forces a dummy transfer,
+    so these arcs are the fragile part of the transfer graph.
+    """
+    out: List[Tuple[int, int, int]] = []
+    outstanding = instance.outstanding()
+    x_old = instance.x_old
+    for target, obj in zip(*np.nonzero(outstanding)):
+        sources = np.flatnonzero(x_old[:, obj])
+        if len(sources) == 1:
+            out.append((int(sources[0]), int(target), int(obj)))
+    return out
+
+
+def objects_without_source(instance: RtspInstance) -> Set[int]:
+    """Outstanding objects with *no* replicator at all in ``X_old``.
+
+    Every such object necessarily costs one dummy transfer (its first copy
+    can only come from the archival/dummy server) — this is the floor any
+    dummy-minimising heuristic can reach.
+    """
+    outstanding = instance.outstanding()
+    needs = np.flatnonzero(outstanding.any(axis=0))
+    have = instance.x_old.any(axis=0)
+    return {int(k) for k in needs if not have[k]}

@@ -1,0 +1,179 @@
+"""Builder/optimizer interfaces and the algorithm registry.
+
+Builders and optimizers are small stateless-ish objects: construct once
+(possibly with tuning options), call ``build``/``optimize`` many times.
+All stochastic choices flow through the ``rng`` argument so experiment
+cells are reproducible.
+
+The registry maps the names used in the paper's plots ("GOLCF", "H1", …)
+to classes, and :func:`repro.core.pipeline.build_pipeline` parses composed
+names like ``"GOLCF+H1+H2+OP1"``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.model.actions import Delete, Transfer
+from repro.model.instance import RtspInstance
+from repro.model.schedule import Schedule
+from repro.model.state import SystemState
+from repro.util.errors import ConfigurationError
+from repro.util.rng import ensure_rng
+
+
+class ScheduleBuilder(abc.ABC):
+    """Builds a valid schedule for an instance from scratch."""
+
+    #: Registry / display name (matches the paper where applicable).
+    name: str = "builder"
+
+    @abc.abstractmethod
+    def build(self, instance: RtspInstance, rng=None) -> Schedule:
+        """Return a schedule valid w.r.t. ``(X_old, X_new)``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}()"
+
+
+class ScheduleOptimizer(abc.ABC):
+    """Rewrites an existing valid schedule, preserving validity."""
+
+    name: str = "optimizer"
+
+    @abc.abstractmethod
+    def optimize(
+        self, instance: RtspInstance, schedule: Schedule, rng=None
+    ) -> Schedule:
+        """Return an improved (or unchanged) valid schedule.
+
+        Implementations never mutate the input schedule.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}()"
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_BUILDERS: Dict[str, Callable[[], ScheduleBuilder]] = {}
+_OPTIMIZERS: Dict[str, Callable[[], ScheduleOptimizer]] = {}
+
+
+def register_builder(cls):
+    """Class decorator adding a builder to the registry under ``cls.name``."""
+    _BUILDERS[cls.name.upper()] = cls
+    return cls
+
+
+def register_optimizer(cls):
+    """Class decorator adding an optimizer to the registry under ``cls.name``."""
+    _OPTIMIZERS[cls.name.upper()] = cls
+    return cls
+
+
+def get_builder(name: str) -> ScheduleBuilder:
+    """Instantiate the registered builder called ``name`` (case-insensitive)."""
+    try:
+        return _BUILDERS[name.upper()]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown builder {name!r}; available: {sorted(_BUILDERS)}"
+        ) from None
+
+
+def get_optimizer(name: str) -> ScheduleOptimizer:
+    """Instantiate the registered optimizer called ``name``."""
+    try:
+        return _OPTIMIZERS[name.upper()]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown optimizer {name!r}; available: {sorted(_OPTIMIZERS)}"
+        ) from None
+
+
+def available_builders() -> List[str]:
+    """Registered builder names."""
+    return sorted(_BUILDERS)
+
+
+def available_optimizers() -> List[str]:
+    """Registered optimizer names."""
+    return sorted(_OPTIMIZERS)
+
+
+# ----------------------------------------------------------------------
+# shared building blocks
+# ----------------------------------------------------------------------
+def shuffled_pairs(mask: np.ndarray, rng) -> List[Tuple[int, int]]:
+    """All ``(server, obj)`` coordinates with ``mask == 1``, shuffled."""
+    pairs = list(zip(*np.nonzero(mask)))
+    pairs = [(int(i), int(k)) for i, k in pairs]
+    gen = ensure_rng(rng)
+    gen.shuffle(pairs)
+    return pairs
+
+
+def append_transfer_from_nearest(
+    schedule: Schedule, state: SystemState, target: int, obj: int
+) -> Transfer:
+    """Append (and apply) a transfer of ``obj`` to ``target`` from the
+    currently nearest source — the dummy server when no real source exists.
+    """
+    source = state.nearest(target, obj)
+    action = Transfer(target, obj, source)
+    state.apply(action)
+    schedule.append(action)
+    return action
+
+
+def append_deletions(
+    schedule: Schedule, state: SystemState, pairs
+) -> None:
+    """Append (and apply) a ``Delete`` for every ``(server, obj)`` pair."""
+    for i, k in pairs:
+        action = Delete(i, k)
+        state.apply(action)
+        schedule.append(action)
+
+
+def remaining_superfluous(
+    instance: RtspInstance, state: SystemState
+) -> List[Tuple[int, int]]:
+    """Superfluous replicas (``X_new = 0``) still present in ``state``."""
+    current = state.placement()
+    mask = (current == 1) & (instance.x_new == 0)
+    return [(int(i), int(k)) for i, k in zip(*np.nonzero(mask))]
+
+
+def golcf_benefit(
+    instance: RtspInstance,
+    state: SystemState,
+    server: int,
+    obj: int,
+    pending_targets: Dict[int, set],
+) -> float:
+    """GOLCF deletion benefit ``B_ik`` (paper eq. 4).
+
+    The benefit of *keeping* the (superfluous) replica of ``obj`` at
+    ``server``: for every server ``j`` that still awaits an outstanding
+    replica of ``obj`` and whose nearest current source is ``server``, the
+    extra cost it would pay by falling back to its second-nearest source.
+    Low benefit ⇒ cheap to delete.
+    """
+    waiting = pending_targets.get(obj)
+    if not waiting:
+        return 0.0
+    total = 0.0
+    size = float(instance.sizes[obj])
+    for j in waiting:
+        first, second = state.nearest_pair(j, obj)
+        if first == server:
+            total += size * float(
+                instance.costs[j, second] - instance.costs[j, first]
+            )
+    return total

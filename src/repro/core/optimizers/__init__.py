@@ -1,0 +1,13 @@
+"""Schedule optimizers (rewrite an existing valid schedule)."""
+
+from repro.core.optimizers.h1 import H1MoveDummyTransfers
+from repro.core.optimizers.h2 import H2CreateSuperfluousReplicas
+from repro.core.optimizers.op1 import OP1ReorderTransfers
+from repro.core.optimizers.nsr import NearestSourceRefinement
+
+__all__ = [
+    "H1MoveDummyTransfers",
+    "H2CreateSuperfluousReplicas",
+    "OP1ReorderTransfers",
+    "NearestSourceRefinement",
+]

@@ -1,0 +1,271 @@
+"""Shared machinery for the schedule optimizers.
+
+Every optimizer follows the same pattern: construct a candidate rewrite,
+then *prove* it by replay before acceptance.
+
+A crucial performance property makes the proof cheap: the replication
+state trajectory depends only on each action's (server, object) effect —
+never on transfer *sources*. All rewrites performed by H1/H2/OP1 permute
+or inject actions inside a contiguous window and preserve the multiset of
+per-cell effects, so the state at the window's end (and therefore the
+validity of the untouched suffix) is unchanged. A candidate is valid iff
+its *window* replays validly from the state at the window's start, which
+turns an O(schedule) proof into an O(window) one.
+
+:class:`ArrayState` is a slim replication state (placement + free-space
+arrays, no per-object replicator sets) used for those window replays;
+:func:`capture_states` snapshots it at chosen positions in one pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.model.actions import Action, Delete, Transfer
+from repro.model.instance import RtspInstance
+from repro.model.schedule import Schedule
+from repro.model.state import CAPACITY_EPS
+
+
+class ArrayState:
+    """Lightweight replication state for fast window replays.
+
+    Mirrors the action semantics of :class:`repro.model.state.SystemState`
+    but keeps only the placement matrix and per-server free space, making
+    ``copy`` a pair of numpy copies.
+    """
+
+    __slots__ = ("instance", "placement", "free")
+
+    def __init__(
+        self,
+        instance: RtspInstance,
+        placement: Optional[np.ndarray] = None,
+        free: Optional[np.ndarray] = None,
+    ) -> None:
+        self.instance = instance
+        if placement is None:
+            self.placement = np.array(instance.x_old, dtype=np.int8, copy=True)
+            self.free = instance.capacities - (
+                self.placement.astype(np.float64) @ instance.sizes
+            )
+        else:
+            self.placement = placement
+            self.free = free
+
+    def copy(self) -> "ArrayState":
+        """Independent copy (two numpy copies; the instance is shared)."""
+        return ArrayState(self.instance, self.placement.copy(), self.free.copy())
+
+    # ------------------------------------------------------------------
+    def holds(self, server: int, obj: int) -> bool:
+        """Whether ``server`` replicates ``obj`` (dummy holds everything)."""
+        if server == self.instance.dummy:
+            return True
+        return bool(self.placement[server, obj])
+
+    def is_valid(self, action: Action) -> bool:
+        """Whether ``action`` may be applied (same semantics as
+        :meth:`repro.model.state.SystemState.is_valid`)."""
+        if isinstance(action, Transfer):
+            i, k, j = action.target, action.obj, action.source
+            return (
+                i != self.instance.dummy
+                and i != j
+                and self.holds(j, k)
+                and not self.placement[i, k]
+                and self.free[i] + CAPACITY_EPS >= self.instance.sizes[k]
+            )
+        if isinstance(action, Delete):
+            i = action.server
+            return i != self.instance.dummy and bool(self.placement[i, action.obj])
+        return False
+
+    def apply(self, action: Action) -> None:
+        """Apply without validity checking (caller checked already)."""
+        if isinstance(action, Transfer):
+            i, k = action.target, action.obj
+            self.placement[i, k] = 1
+            self.free[i] -= self.instance.sizes[k]
+        else:
+            i, k = action.server, action.obj
+            self.placement[i, k] = 0
+            self.free[i] += self.instance.sizes[k]
+
+    def try_apply(self, action: Action) -> bool:
+        """Apply if valid; returns whether it was applied."""
+        if not self.is_valid(action):
+            return False
+        self.apply(action)
+        return True
+
+    def nearest(self, target: int, obj: int, exclude: int = -1) -> int:
+        """Cheapest current source of ``obj`` for ``target`` (dummy fallback)."""
+        inst = self.instance
+        holders = np.flatnonzero(self.placement[:, obj])
+        best = inst.dummy
+        best_cost = float(inst.costs[target, best])
+        for j in holders:
+            j = int(j)
+            if j == target or j == exclude:
+                continue
+            c = float(inst.costs[target, j])
+            if c < best_cost or (c == best_cost and j < best):
+                best, best_cost = j, c
+        return best
+
+
+def capture_states(
+    instance: RtspInstance,
+    actions: Sequence[Action],
+    positions: Iterable[int],
+) -> Dict[int, ArrayState]:
+    """Snapshot the state *before* each requested position, in one pass.
+
+    Assumes ``actions`` is a valid prefix-executable sequence (optimizer
+    inputs always are).
+    """
+    wanted = sorted(set(positions))
+    out: Dict[int, ArrayState] = {}
+    state = ArrayState(instance)
+    cursor = 0
+    for pos in wanted:
+        while cursor < pos:
+            state.apply(actions[cursor])
+            cursor += 1
+        out[pos] = state.copy()
+    return out
+
+
+def window_valid(start_state: ArrayState, window: Sequence[Action]) -> bool:
+    """Whether ``window`` replays validly from a copy of ``start_state``."""
+    state = start_state.copy()
+    for action in window:
+        if not state.try_apply(action):
+            return False
+    return True
+
+
+def window_replay_with_repairs(
+    start_state: ArrayState,
+    window: Sequence[Action],
+    max_repairs: int = 64,
+) -> Optional[List[Action]]:
+    """Replay ``window``, re-pointing transfers whose source disappeared.
+
+    Returns the (possibly repaired) window or ``None`` when unrepairable.
+    Used by OP1 case (iii): hoisted deletions can strand transfers that
+    sourced from the hoist's server; those are re-pointed to the nearest
+    replicator at their position (possibly the dummy, at dummy price).
+    """
+    state = start_state.copy()
+    out: List[Action] = []
+    repairs = 0
+    for action in window:
+        if not state.is_valid(action):
+            if (
+                isinstance(action, Transfer)
+                and repairs < max_repairs
+                and not state.holds(action.source, action.obj)
+                and not state.holds(action.target, action.obj)
+            ):
+                repaired = action.with_source(
+                    state.nearest(action.target, action.obj)
+                )
+                if not state.is_valid(repaired):
+                    return None
+                action = repaired
+                repairs += 1
+            else:
+                return None
+        state.apply(action)
+        out.append(action)
+    return out
+
+
+def actions_cost(instance: RtspInstance, actions: Iterable[Action]) -> float:
+    """Implementation cost of an action sequence."""
+    total = 0.0
+    sizes, costs = instance.sizes, instance.costs
+    for a in actions:
+        if isinstance(a, Transfer):
+            total += float(sizes[a.obj] * costs[a.target, a.source])
+    return total
+
+
+def count_dummies(instance: RtspInstance, actions: Iterable[Action]) -> int:
+    """Number of dummy-sourced transfers in an action sequence."""
+    dummy = instance.dummy
+    return sum(
+        1 for a in actions if isinstance(a, Transfer) and a.source == dummy
+    )
+
+
+# ----------------------------------------------------------------------
+# schedule-structure queries shared by H1/H2
+# ----------------------------------------------------------------------
+def deletion_positions_before(
+    actions: Sequence[Action], position: int, obj: int
+) -> List[int]:
+    """Positions ``< position`` holding a deletion of ``obj``, nearest first."""
+    return [
+        idx
+        for idx in range(position - 1, -1, -1)
+        if isinstance(actions[idx], Delete) and actions[idx].obj == obj
+    ]
+
+
+def server_deletions_between(
+    actions: Sequence[Action], lo: int, hi: int, server: int
+) -> List[int]:
+    """Positions in ``(lo, hi)`` holding deletions at ``server``, in order."""
+    return [
+        idx
+        for idx in range(lo + 1, hi)
+        if isinstance(actions[idx], Delete) and actions[idx].server == server
+    ]
+
+
+def is_standalone_deletion(
+    actions: Sequence[Action], window_start: int, del_pos: int
+) -> bool:
+    """Whether the deletion at ``del_pos`` can be hoisted to ``window_start``.
+
+    Per paper H1 case (ii), a deletion ``D_ik'`` is *standalone* within the
+    separating sub-schedule when no transfer between the hoist destination
+    and the deletion either uses ``S_i`` as a source of ``O_k'`` (hoisting
+    would destroy that source) or creates ``O_k'`` on ``S_i`` (the replica
+    would not exist yet at the destination).
+    """
+    deletion = actions[del_pos]
+    assert isinstance(deletion, Delete)
+    for idx in range(window_start, del_pos):
+        a = actions[idx]
+        if isinstance(a, Transfer) and a.obj == deletion.obj:
+            if a.source == deletion.server or a.target == deletion.server:
+                return False
+    return True
+
+
+def blocking_transfer(
+    actions: Sequence[Action], window_start: int, del_pos: int
+) -> Optional[int]:
+    """Last transfer in the window using the deletion's replica as source.
+
+    This is the ``T_i''k'i`` of paper H1 case (iii): the transfer that
+    re-homes the replica before it is deleted. Returns its position, or
+    ``None`` when no such transfer exists.
+    """
+    deletion = actions[del_pos]
+    assert isinstance(deletion, Delete)
+    for idx in range(del_pos - 1, window_start - 1, -1):
+        a = actions[idx]
+        if (
+            isinstance(a, Transfer)
+            and a.obj == deletion.obj
+            and a.source == deletion.server
+        ):
+            return idx
+    return None

@@ -1,0 +1,255 @@
+"""OP1 — reorder same-object transfers to cut cost (paper §4.2, from [14]).
+
+OP1 scans the schedule for a pair of transfers of the same object,
+``T_i'kj' … T_ikj``, and considers executing the *later* one first: moved
+to the earlier position, ``S_i`` obtains the object sooner and can serve
+as a cheap source for every subsequent transfer of that object (including
+``T_i'kj'`` itself), which are re-pointed to ``S_i`` whenever that is
+cheaper. The move happens only when the total benefit outweighs the moved
+transfer's own cost change plus any penalties from the validity repairs of
+the paper's cases (ii)–(iv):
+
+* deletions on ``S_i`` that enabled the moved transfer are hoisted with it
+  (case iv),
+* transfers that used ``S_i`` as a source for a replica deleted earlier by
+  the hoist are re-pointed to their then-nearest replicator, paying a
+  penalty (case iii),
+* rewrites that would duplicate replicas or delete not-yet-created ones
+  simply fail the window replay and are dropped (case ii).
+
+Acceptance requires the rewrite window to replay validly *and* the total
+cost delta to be strictly negative, so the optimizer monotonically
+decreases cost and terminates. After each accepted change the scan
+restarts from the beginning (the paper's policy); ``restart=False``
+continues in place — an ablation measured in
+``benchmarks/test_op1_restart.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.base import ScheduleOptimizer, register_optimizer
+from repro.core.optimizers.common import (
+    ArrayState,
+    actions_cost,
+    window_replay_with_repairs,
+)
+from repro.model.actions import Action, Delete, Transfer
+from repro.model.instance import RtspInstance
+from repro.model.schedule import Schedule
+
+#: Minimum cost improvement for a rewrite to be accepted (guards float
+#: round-off from producing endless micro-"improvements").
+COST_EPS = 1e-9
+
+
+@register_optimizer
+class OP1ReorderTransfers(ScheduleOptimizer):
+    """Cost-driven reordering of same-object transfer pairs.
+
+    Parameters
+    ----------
+    restart:
+        Restart the scan from position 0 after each accepted change (the
+        paper's behaviour). ``False`` continues scanning in place, which
+        is faster and usually within a percent of the same final cost.
+    max_rounds:
+        Upper bound on accepted changes (safety rail; cost strictly
+        decreases each round so the bound is rarely reached in practice).
+    """
+
+    name = "OP1"
+
+    def __init__(self, restart: bool = True, max_rounds: int = 100_000) -> None:
+        self.restart = restart
+        self.max_rounds = max_rounds
+
+    # ------------------------------------------------------------------
+    def optimize(
+        self, instance: RtspInstance, schedule: Schedule, rng=None
+    ) -> Schedule:
+        actions = schedule.actions()
+        rounds = 0
+        while rounds < self.max_rounds:
+            result = self._scan(instance, actions)
+            if result is None:
+                break
+            actions = result
+            rounds += 1
+        return Schedule(actions)
+
+    # ------------------------------------------------------------------
+    def _scan(
+        self, instance: RtspInstance, actions: List[Action]
+    ) -> Optional[List[Action]]:
+        """One scan; returns the improved action list or ``None``.
+
+        With ``restart=True`` the scan returns at the first accepted
+        change; with ``restart=False`` it applies changes in place and
+        returns the accumulated result at the end of the pass (``None``
+        if nothing improved).
+        """
+        transfer_pos = _transfer_positions_by_object(actions)
+        cell_deleted = _deleted_cells(actions)
+        state = ArrayState(instance)
+        p1 = 0
+        improved = False
+        while p1 < len(actions):
+            a1 = actions[p1]
+            if isinstance(a1, Transfer):
+                p2 = _next_after(transfer_pos.get(a1.obj, ()), p1)
+                if p2 is not None:
+                    cand = self._consider(
+                        instance, actions, state, transfer_pos, cell_deleted, p1, p2
+                    )
+                    if cand is not None:
+                        actions = cand
+                        improved = True
+                        if self.restart:
+                            return actions
+                        # Continue in place: the prefix [0, p1) — and thus
+                        # `state` — is unchanged; re-examine from p1.
+                        transfer_pos = _transfer_positions_by_object(actions)
+                        cell_deleted = _deleted_cells(actions)
+                        continue
+            state.apply(a1)
+            p1 += 1
+        return actions if improved else None
+
+    # ------------------------------------------------------------------
+    def _consider(
+        self,
+        instance: RtspInstance,
+        actions: List[Action],
+        state: ArrayState,
+        transfer_pos: Dict[int, List[int]],
+        cell_deleted: frozenset,
+        p1: int,
+        p2: int,
+    ) -> Optional[List[Action]]:
+        """Evaluate moving the transfer at ``p2`` to just before ``p1``.
+
+        ``state`` is the replication state before position ``p1``.
+        Returns the complete rewritten action list on acceptance.
+        """
+        moved = actions[p2]
+        assert isinstance(moved, Transfer)
+        i, k = moved.target, moved.obj
+        costs, size = instance.costs, float(instance.sizes[k])
+        positions_k = transfer_pos.get(k, ())
+
+        new_source = state.nearest(i, k)
+        # Optimistic bound: the moved transfer's own cost change plus the
+        # best-case re-pointing savings for every other transfer of the
+        # object at or after p1. Skip candidate construction (the
+        # expensive part) when even the optimistic total is non-positive.
+        optimistic = size * (costs[i, moved.source] - costs[i, new_source])
+        for idx in positions_k:
+            if idx < p1 or idx == p2:
+                continue
+            t = actions[idx]
+            if t.target != i:
+                optimistic += max(
+                    0.0, size * (costs[t.target, t.source] - costs[t.target, i])
+                )
+        if optimistic <= COST_EPS:
+            return None
+
+        # Re-pointing through S_i is only safe while S_i keeps the object;
+        # if some later action deletes (i, k), skip tail re-points (window
+        # re-points are still checked by the replay).
+        i_keeps_obj = (i, k) not in cell_deleted
+        replacement = Transfer(i, k, new_source)
+
+        for hoist in (False, True):
+            hoisted: List[int] = []
+            if hoist:
+                hoisted = [
+                    idx
+                    for idx in range(p1 + 1, p2)
+                    if isinstance(actions[idx], Delete)
+                    and actions[idx].server == i
+                ]
+                if not hoisted:
+                    break  # identical to the no-hoist variant
+            removed = set(hoisted)
+            removed.add(p2)
+
+            # --- build the rewrite window [p1, p2] -----------------------
+            window: List[Action] = [actions[idx] for idx in hoisted]
+            window.append(replacement)
+            delta = size * (costs[i, new_source] - costs[i, moved.source])
+            for idx in range(p1, p2 + 1):
+                if idx in removed:
+                    continue
+                a = actions[idx]
+                if (
+                    isinstance(a, Transfer)
+                    and a.obj == k
+                    and a.target != i
+                    and costs[a.target, i] < costs[a.target, a.source]
+                ):
+                    delta += size * (costs[a.target, i] - costs[a.target, a.source])
+                    a = a.with_source(i)
+                window.append(a)
+
+            repaired = window_replay_with_repairs(state, window)
+            if repaired is None:
+                continue
+            # Repair penalties (case iii): cost difference of the window
+            # after source re-pointing repairs.
+            delta += actions_cost(instance, repaired) - actions_cost(
+                instance, window
+            )
+
+            # --- tail re-points (transfers of k after the window) --------
+            tail_repoints: List[int] = []
+            if i_keeps_obj:
+                for idx in positions_k:
+                    if idx <= p2:
+                        continue
+                    t = actions[idx]
+                    if t.target != i and costs[t.target, i] < costs[t.target, t.source]:
+                        delta += size * (
+                            costs[t.target, i] - costs[t.target, t.source]
+                        )
+                        tail_repoints.append(idx)
+
+            if delta >= -COST_EPS:
+                continue
+            out = list(actions[:p1])
+            out.extend(repaired)
+            for idx in range(p2 + 1, len(actions)):
+                a = actions[idx]
+                if idx in tail_repoints:
+                    a = a.with_source(i)
+                out.append(a)
+            return out
+        return None
+
+
+def _transfer_positions_by_object(
+    actions: Sequence[Action],
+) -> Dict[int, List[int]]:
+    """Map object id -> sorted positions of its transfers."""
+    positions: Dict[int, List[int]] = {}
+    for idx, a in enumerate(actions):
+        if isinstance(a, Transfer):
+            positions.setdefault(a.obj, []).append(idx)
+    return positions
+
+
+def _deleted_cells(actions: Sequence[Action]) -> frozenset:
+    """Set of ``(server, obj)`` cells deleted anywhere in the schedule."""
+    return frozenset(
+        (a.server, a.obj) for a in actions if isinstance(a, Delete)
+    )
+
+
+def _next_after(positions: Sequence[int], p1: int) -> Optional[int]:
+    """Smallest position in ``positions`` strictly greater than ``p1``."""
+    for idx in positions:
+        if idx > p1:
+            return idx
+    return None

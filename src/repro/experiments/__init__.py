@@ -1,0 +1,31 @@
+"""Experiment harness reproducing the paper's evaluation (§5, Figs. 4–9).
+
+* :mod:`repro.experiments.config` — scales (small/medium/paper) and the
+  :class:`FigureSpec` declaration format,
+* :mod:`repro.experiments.figures` — one spec per paper figure,
+* :mod:`repro.experiments.runner` — seed-stable sweep execution,
+* :mod:`repro.experiments.report` — ASCII tables and CSV output,
+* :mod:`repro.experiments.cli` — ``python -m repro.experiments``.
+"""
+
+from repro.experiments.config import ExperimentScale, FigureSpec, SCALES
+from repro.experiments.runner import run_figure, FigureResult, CellResult
+from repro.experiments.figures import FIGURES, get_figure
+from repro.experiments.report import render_table, render_csv
+from repro.experiments.scenario import run_scenario, ScenarioResult, EpochResult
+
+__all__ = [
+    "ExperimentScale",
+    "FigureSpec",
+    "SCALES",
+    "run_figure",
+    "FigureResult",
+    "CellResult",
+    "FIGURES",
+    "get_figure",
+    "render_table",
+    "render_csv",
+    "run_scenario",
+    "ScenarioResult",
+    "EpochResult",
+]

@@ -1,0 +1,94 @@
+"""Command-line interface: ``python -m repro.experiments``.
+
+Examples
+--------
+Run Figure 4 at CI scale and print the table::
+
+    python -m repro.experiments --figure 4 --scale small
+
+Regenerate every figure at the paper's scale (50 servers, 1000 objects;
+budget ~an hour of CPU), writing CSVs next to the tables::
+
+    python -m repro.experiments --figure all --scale paper --csv-dir results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.experiments.config import SCALES, get_scale
+from repro.experiments.figures import FIGURES, get_figure
+from repro.experiments.report import render_ascii_chart, render_csv, render_table
+from repro.experiments.runner import run_figure
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for the tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the RTSP paper's evaluation figures (4-9).",
+    )
+    parser.add_argument(
+        "--figure",
+        default="all",
+        help="figure to run: 4..9, fig4..fig9, or 'all' (default)",
+    )
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=sorted(SCALES),
+        help="experiment scale (paper = 50 servers / 1000 objects)",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=None, help="override repetitions per cell"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the base seed"
+    )
+    parser.add_argument(
+        "--csv-dir", default=None, help="also write <figure>.csv files here"
+    )
+    parser.add_argument(
+        "--chart", action="store_true", help="print ASCII charts too"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress lines"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    scale = get_scale(args.scale)
+    if args.seed is not None:
+        from dataclasses import replace
+
+        scale = replace(scale, base_seed=args.seed)
+
+    if args.figure.lower() == "all":
+        specs = [FIGURES[key] for key in sorted(FIGURES)]
+    else:
+        specs = [get_figure(args.figure)]
+
+    progress = None if args.quiet else lambda line: print("  " + line, flush=True)
+    for spec in specs:
+        result = run_figure(spec, scale, repetitions=args.reps, progress=progress)
+        print()
+        print(render_table(result))
+        if args.chart:
+            print(render_ascii_chart(result))
+        if args.csv_dir:
+            os.makedirs(args.csv_dir, exist_ok=True)
+            path = os.path.join(args.csv_dir, f"{spec.figure_id}.csv")
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(render_csv(result))
+            print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""Experiment configuration: scales and figure specifications.
+
+The paper's evaluation runs at 50 servers / 1000 objects. That scale is
+available as ``paper``; ``small``/``medium`` keep the same structure at a
+fraction of the runtime for CI and benchmarking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from repro.model.instance import RtspInstance
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Size/repetition knobs for one harness run."""
+
+    name: str
+    num_servers: int
+    num_objects: int
+    repetitions: int
+    base_seed: int = 20070326  # IPPS 2007 opened on March 26
+
+    def scaled_servers(self, fraction: float) -> int:
+        """``fraction`` of the server count, rounded."""
+        return int(round(fraction * self.num_servers))
+
+
+#: Built-in scales. ``paper`` matches §5.1 exactly.
+SCALES: Dict[str, ExperimentScale] = {
+    "small": ExperimentScale("small", num_servers=20, num_objects=100, repetitions=3),
+    "medium": ExperimentScale("medium", num_servers=50, num_objects=300, repetitions=3),
+    "paper": ExperimentScale("paper", num_servers=50, num_objects=1000, repetitions=5),
+}
+
+
+def get_scale(name: str) -> ExperimentScale:
+    """Look up a scale by name."""
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scale {name!r}; available: {sorted(SCALES)}"
+        ) from None
+
+
+#: Instance factory signature: (x_value, scale, seed) -> instance.
+InstanceFactory = Callable[[float, ExperimentScale, int], RtspInstance]
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """Declarative description of one paper figure.
+
+    Attributes
+    ----------
+    figure_id:
+        ``"fig4"`` … ``"fig9"``.
+    title, x_label, y_label:
+        Labels matching the paper's plot.
+    metric:
+        ``"dummy_transfers"`` or ``"cost"``.
+    pipelines:
+        Pipeline specs (``"GOLCF+H1+H2"``-style) — one plot series each.
+    x_values:
+        Sweep values (replicas per object, or fraction of servers with
+        extra capacity).
+    make_instance:
+        Factory producing the instance for an ``(x, scale, seed)`` cell.
+    workload_key:
+        Figures with equal keys share identical instances per cell (the
+        paper pairs each dummy-count figure with a cost figure over the
+        same runs).
+    expected_shape:
+        Human-readable statement of the qualitative result the paper
+        reports for this figure (checked by the integration tests).
+    """
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    metric: str
+    pipelines: List[str]
+    x_values: List[float]
+    make_instance: InstanceFactory
+    workload_key: str
+    expected_shape: str = ""
+
+    def __post_init__(self) -> None:
+        if self.metric not in ("dummy_transfers", "cost"):
+            raise ConfigurationError(f"unknown metric {self.metric!r}")
+        if not self.pipelines:
+            raise ConfigurationError("figure needs at least one pipeline")
+        if not self.x_values:
+            raise ConfigurationError("figure needs at least one x value")

@@ -1,0 +1,41 @@
+"""Figure specifications for the paper's six evaluation plots."""
+
+from typing import Dict
+
+from repro.experiments.config import FigureSpec
+from repro.experiments.figures.fig4 import spec as fig4_spec
+from repro.experiments.figures.fig5 import spec as fig5_spec
+from repro.experiments.figures.fig6 import spec as fig6_spec
+from repro.experiments.figures.fig7 import spec as fig7_spec
+from repro.experiments.figures.fig8 import spec as fig8_spec
+from repro.experiments.figures.fig9 import spec as fig9_spec
+from repro.util.errors import ConfigurationError
+
+#: All figure specs by id.
+FIGURES: Dict[str, FigureSpec] = {
+    s.figure_id: s
+    for s in (
+        fig4_spec(),
+        fig5_spec(),
+        fig6_spec(),
+        fig7_spec(),
+        fig8_spec(),
+        fig9_spec(),
+    )
+}
+
+
+def get_figure(figure_id: str) -> FigureSpec:
+    """Look up a figure spec by id (``"fig4"`` or just ``"4"``)."""
+    key = figure_id.lower()
+    if not key.startswith("fig"):
+        key = f"fig{key}"
+    try:
+        return FIGURES[key]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown figure {figure_id!r}; available: {sorted(FIGURES)}"
+        ) from None
+
+
+__all__ = ["FIGURES", "get_figure"]

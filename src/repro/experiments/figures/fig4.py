@@ -1,0 +1,48 @@
+"""Figure 4 — dummy transfers vs. replicas per object (equal sizes).
+
+Experiment 1 (§5.2): all objects sized 5000 units, replicas per object
+swept 1..5, ``X_old``/``X_new`` fully reshuffled (0% overlap), capacities
+minimal. H1+H2 applied over AR and GOLCF; dummy transfers drop as
+replicas increase, and H1+H2 nearly nullify them from two replicas on.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentScale, FigureSpec
+from repro.model.instance import RtspInstance
+from repro.workloads.regular import paper_instance
+
+#: Workload shared by Figures 4 and 5 (the same runs feed both plots).
+WORKLOAD_KEY = "exp1-equal-sizes"
+
+
+def make_instance(x: float, scale: ExperimentScale, seed: int) -> RtspInstance:
+    """Experiment-1 instance with ``x`` replicas per object."""
+    return paper_instance(
+        replicas=int(x),
+        num_servers=scale.num_servers,
+        num_objects=scale.num_objects,
+        object_size=5000.0,
+        overlap=0.0,
+        rng=seed,
+    )
+
+
+def spec() -> FigureSpec:
+    """Figure 4 specification."""
+    return FigureSpec(
+        figure_id="fig4",
+        title="Number of dummy transfers as the replicas per object increase "
+        "(equal object sizes)",
+        x_label="replicas per object",
+        y_label="dummy transfers",
+        metric="dummy_transfers",
+        pipelines=["AR", "AR+H1+H2", "GOLCF", "GOLCF+H1+H2"],
+        x_values=[1, 2, 3, 4, 5],
+        make_instance=make_instance,
+        workload_key=WORKLOAD_KEY,
+        expected_shape=(
+            "dummy transfers decrease with replicas; GOLCF below AR; "
+            "H1+H2 nearly nullify dummies for r >= 2"
+        ),
+    )

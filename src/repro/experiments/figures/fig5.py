@@ -1,0 +1,32 @@
+"""Figure 5 — implementation cost vs. replicas per object (equal sizes).
+
+The cost view of experiment 1, over the same instances as Figure 4.
+H1+H2 reduce the implementation cost of the GOLCF+OP1 schedule because
+each dummy transfer they remove swaps the most expensive possible source
+for a real one.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import FigureSpec
+from repro.experiments.figures.fig4 import WORKLOAD_KEY, make_instance
+
+
+def spec() -> FigureSpec:
+    """Figure 5 specification."""
+    return FigureSpec(
+        figure_id="fig5",
+        title="Implementation cost as the replicas per object increase "
+        "(equal object sizes)",
+        x_label="replicas per object",
+        y_label="implementation cost",
+        metric="cost",
+        pipelines=["AR", "GOLCF", "GOLCF+OP1", "GOLCF+H1+H2+OP1"],
+        x_values=[1, 2, 3, 4, 5],
+        make_instance=make_instance,
+        workload_key=WORKLOAD_KEY,
+        expected_shape=(
+            "GOLCF+H1+H2+OP1 cheapest, then GOLCF+OP1 <= GOLCF < AR; "
+            "the H1+H2 gap narrows as replicas increase"
+        ),
+    )

@@ -1,0 +1,47 @@
+"""Figure 6 — dummy transfers vs. replicas per object (uniform sizes).
+
+Experiment 2 (§5.2): identical to experiment 1 except object sizes are
+drawn uniformly from [1000, 5000]. Only GOLCF variants are plotted;
+H1+H2 contribute the bulk of the dummy-transfer reduction.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentScale, FigureSpec
+from repro.model.instance import RtspInstance
+from repro.workloads.regular import paper_instance
+
+#: Workload shared by Figures 6 and 7.
+WORKLOAD_KEY = "exp2-uniform-sizes"
+
+
+def make_instance(x: float, scale: ExperimentScale, seed: int) -> RtspInstance:
+    """Experiment-2 instance with ``x`` replicas and U[1000,5000] sizes."""
+    return paper_instance(
+        replicas=int(x),
+        num_servers=scale.num_servers,
+        num_objects=scale.num_objects,
+        uniform_size_range=(1000.0, 5000.0),
+        overlap=0.0,
+        rng=seed,
+    )
+
+
+def spec() -> FigureSpec:
+    """Figure 6 specification."""
+    return FigureSpec(
+        figure_id="fig6",
+        title="Number of dummy transfers as the replicas per object increase "
+        "(uniform object sizes)",
+        x_label="replicas per object",
+        y_label="dummy transfers",
+        metric="dummy_transfers",
+        pipelines=["GOLCF", "GOLCF+H1", "GOLCF+H2", "GOLCF+H1+H2"],
+        x_values=[1, 2, 3, 4, 5],
+        make_instance=make_instance,
+        workload_key=WORKLOAD_KEY,
+        expected_shape=(
+            "dummy transfers decrease with replicas; H1+H2 jointly give "
+            "the largest reduction"
+        ),
+    )

@@ -1,0 +1,29 @@
+"""Figure 7 — implementation cost vs. replicas per object (uniform sizes).
+
+The cost view of experiment 2, over the same instances as Figure 6.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import FigureSpec
+from repro.experiments.figures.fig6 import WORKLOAD_KEY, make_instance
+
+
+def spec() -> FigureSpec:
+    """Figure 7 specification."""
+    return FigureSpec(
+        figure_id="fig7",
+        title="Implementation cost as the replicas per object increase "
+        "(uniform object sizes)",
+        x_label="replicas per object",
+        y_label="implementation cost",
+        metric="cost",
+        pipelines=["GOLCF", "GOLCF+OP1", "GOLCF+H1+H2+OP1"],
+        x_values=[1, 2, 3, 4, 5],
+        make_instance=make_instance,
+        workload_key=WORKLOAD_KEY,
+        expected_shape=(
+            "GOLCF+H1+H2+OP1 achieves large cost savings over GOLCF+OP1, "
+            "driven by the removed dummy transfers"
+        ),
+    )

@@ -1,0 +1,29 @@
+"""Figure 9 — implementation cost vs. servers with extra capacity.
+
+The cost view of experiment 3, over the same instances as Figure 8:
+GOLCF+H1+H2+OP1 undercuts GOLCF+OP1 and the gap grows with slack, since
+every dummy transfer H1/H2 convert saves the dummy premium.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import FigureSpec
+from repro.experiments.figures.fig8 import WORKLOAD_KEY, make_instance
+
+
+def spec() -> FigureSpec:
+    """Figure 9 specification."""
+    return FigureSpec(
+        figure_id="fig9",
+        title="Implementation cost as more servers acquire extra capacity",
+        x_label="fraction of servers with extra capacity",
+        y_label="implementation cost",
+        metric="cost",
+        pipelines=["GOLCF+OP1", "GOLCF+H1+H2+OP1"],
+        x_values=[0.0, 0.2, 0.4, 0.6, 0.8, 1.0],
+        make_instance=make_instance,
+        workload_key=WORKLOAD_KEY,
+        expected_shape=(
+            "GOLCF+H1+H2+OP1 costs less than GOLCF+OP1 at every slack level"
+        ),
+    )

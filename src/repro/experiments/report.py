@@ -1,0 +1,104 @@
+"""Rendering figure results as ASCII tables, CSV, and ASCII charts."""
+
+from __future__ import annotations
+
+import io
+from typing import List, Optional
+
+from repro.experiments.runner import FigureResult
+
+
+def render_table(result: FigureResult, show_std: bool = True) -> str:
+    """Render a figure result as an aligned ASCII table.
+
+    One row per x value, one column per pipeline, means (± std when
+    ``show_std`` and more than one repetition ran).
+    """
+    spec = result.spec
+    pipelines = spec.pipelines
+    header = [spec.x_label] + pipelines
+    rows: List[List[str]] = []
+    for x in spec.x_values:
+        row = [f"{x:g}"]
+        for name in pipelines:
+            cell = result.cell(x, name)
+            text = f"{cell.mean:,.6g}"
+            if show_std and len(cell.values) > 1 and cell.std > 0:
+                text += f" ±{cell.std:,.3g}"
+            row.append(text)
+        rows.append(row)
+    widths = [
+        max(len(header[c]), *(len(r[c]) for r in rows)) for c in range(len(header))
+    ]
+    out = io.StringIO()
+    title = f"{spec.figure_id.upper()}: {spec.title}"
+    out.write(title + "\n")
+    out.write(
+        f"[scale={result.scale.name}, M={result.scale.num_servers}, "
+        f"N={result.scale.num_objects}, metric={spec.metric}, "
+        f"{result.seconds:.1f}s]\n"
+    )
+    sep = "-+-".join("-" * w for w in widths)
+    out.write(" | ".join(h.ljust(w) for h, w in zip(header, widths)) + "\n")
+    out.write(sep + "\n")
+    for row in rows:
+        out.write(" | ".join(v.rjust(w) for v, w in zip(row, widths)) + "\n")
+    if spec.expected_shape:
+        out.write(f"expected shape: {spec.expected_shape}\n")
+    return out.getvalue()
+
+
+def render_csv(result: FigureResult) -> str:
+    """Render a figure result as CSV (one row per cell, raw values joined)."""
+    out = io.StringIO()
+    out.write("figure,scale,x,pipeline,metric,mean,std,n,values\n")
+    for cell in result.cells:
+        values = ";".join(f"{v:g}" for v in cell.values)
+        out.write(
+            f"{result.spec.figure_id},{result.scale.name},{cell.x:g},"
+            f"{cell.pipeline},{result.spec.metric},{cell.mean:g},"
+            f"{cell.std:g},{len(cell.values)},{values}\n"
+        )
+    return out.getvalue()
+
+
+def render_ascii_chart(
+    result: FigureResult, width: int = 60, height: int = 16
+) -> str:
+    """Poor-man's line chart: one mark per (x, pipeline) mean.
+
+    Useful for eyeballing the figure shape in a terminal without
+    matplotlib (which this project deliberately avoids depending on).
+    """
+    spec = result.spec
+    marks = "ox+*#@%&"
+    all_means = [c.mean for c in result.cells]
+    lo, hi = min(all_means), max(all_means)
+    span = (hi - lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    xs = spec.x_values
+    for s_idx, name in enumerate(spec.pipelines):
+        mark = marks[s_idx % len(marks)]
+        for x_idx, x in enumerate(xs):
+            col = (
+                int(round(x_idx * (width - 1) / (len(xs) - 1)))
+                if len(xs) > 1
+                else 0
+            )
+            val = result.cell(x, name).mean
+            row = height - 1 - int(round((val - lo) / span * (height - 1)))
+            grid[row][col] = mark
+    out = io.StringIO()
+    out.write(f"{spec.figure_id.upper()} ({spec.metric})  ")
+    out.write(
+        "  ".join(
+            f"{marks[i % len(marks)]}={n}" for i, n in enumerate(spec.pipelines)
+        )
+        + "\n"
+    )
+    out.write(f"{hi:,.4g}\n")
+    for row in grid:
+        out.write("|" + "".join(row) + "\n")
+    out.write("+" + "-" * width + "\n")
+    out.write(f"{lo:,.4g}  x: {xs[0]:g} .. {xs[-1]:g} ({spec.x_label})\n")
+    return out.getvalue()

@@ -1,0 +1,113 @@
+"""Seed-stable execution of figure sweeps.
+
+Each experiment cell ``(workload, x, repetition)`` derives its own seed
+from the scale's base seed, so figures sharing a workload key (e.g. the
+dummy-count and cost views of the same experiment) run their pipelines on
+*identical* instances, and any cell can be reproduced in isolation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.analysis.metrics import schedule_stats
+from repro.core.pipeline import build_pipeline
+from repro.experiments.config import ExperimentScale, FigureSpec
+from repro.util.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Aggregated metric for one (x, pipeline) cell."""
+
+    x: float
+    pipeline: str
+    values: List[float]
+    seconds: float
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.values))
+
+
+@dataclass
+class FigureResult:
+    """All cells of one figure, plus run metadata."""
+
+    spec: FigureSpec
+    scale: ExperimentScale
+    cells: List[CellResult] = field(default_factory=list)
+    seconds: float = 0.0
+
+    def series(self, pipeline: str) -> List[float]:
+        """Mean metric per x value for one pipeline, in x order."""
+        by_x = {c.x: c.mean for c in self.cells if c.pipeline == pipeline}
+        return [by_x[x] for x in self.spec.x_values]
+
+    def cell(self, x: float, pipeline: str) -> CellResult:
+        """Look up one cell."""
+        for c in self.cells:
+            if c.x == x and c.pipeline == pipeline:
+                return c
+        raise KeyError((x, pipeline))
+
+
+def run_figure(
+    spec: FigureSpec,
+    scale: ExperimentScale,
+    repetitions: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FigureResult:
+    """Run every cell of ``spec`` at ``scale``.
+
+    ``repetitions`` overrides the scale's default; ``progress`` (if given)
+    receives one human-readable line per completed cell.
+    """
+    reps = repetitions if repetitions is not None else scale.repetitions
+    pipelines = {name: build_pipeline(name) for name in spec.pipelines}
+    result = FigureResult(spec=spec, scale=scale)
+    t_start = time.perf_counter()
+    for x in spec.x_values:
+        # Instances are shared across pipelines within a cell (the paper
+        # compares algorithms on the same runs) and across figures with
+        # the same workload key.
+        instances = []
+        for rep in range(reps):
+            seed = derive_seed(
+                scale.base_seed, spec.workload_key, scale.name, x, rep
+            )
+            instances.append(spec.make_instance(x, scale, seed))
+        for name, pipeline in pipelines.items():
+            t0 = time.perf_counter()
+            values: List[float] = []
+            for rep, instance in enumerate(instances):
+                run_seed = derive_seed(
+                    scale.base_seed, "pipeline", spec.workload_key, x, rep
+                )
+                schedule = pipeline.run(instance, rng=run_seed)
+                stats = schedule_stats(schedule, instance)
+                values.append(
+                    float(stats.num_dummy_transfers)
+                    if spec.metric == "dummy_transfers"
+                    else stats.cost
+                )
+            cell = CellResult(
+                x=x, pipeline=name, values=values,
+                seconds=time.perf_counter() - t0,
+            )
+            result.cells.append(cell)
+            if progress is not None:
+                progress(
+                    f"{spec.figure_id} x={x:g} {name}: "
+                    f"mean={cell.mean:.6g} ({cell.seconds:.1f}s)"
+                )
+    result.seconds = time.perf_counter() - t_start
+    return result

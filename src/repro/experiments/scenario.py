@@ -1,0 +1,102 @@
+"""Multi-epoch scenario runner.
+
+The paper's motivating loop (§2.1) is *recurring*: placement changes
+daily and every transition is an RTSP instance. This runner executes a
+sequence of instances (from :class:`~repro.workloads.video.VideoRotationModel`
+or any iterable) under several pipelines and aggregates per-epoch and
+total statistics — the programmatic counterpart of
+``examples/video_server_rotation.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.analysis.metrics import ScheduleStats, schedule_stats
+from repro.core.pipeline import build_pipeline
+from repro.model.instance import RtspInstance
+from repro.util.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class EpochResult:
+    """One pipeline's outcome on one epoch's transition."""
+
+    epoch: int
+    pipeline: str
+    stats: ScheduleStats
+    seconds: float
+
+
+@dataclass
+class ScenarioResult:
+    """All epochs of a scenario run."""
+
+    pipelines: List[str]
+    epochs: List[EpochResult] = field(default_factory=list)
+
+    def series(self, pipeline: str, metric: str = "cost") -> List[float]:
+        """Per-epoch metric values for one pipeline, in epoch order."""
+        rows = sorted(
+            (e for e in self.epochs if e.pipeline == pipeline),
+            key=lambda e: e.epoch,
+        )
+        return [float(e.stats.as_dict()[metric]) for e in rows]
+
+    def total(self, pipeline: str, metric: str = "cost") -> float:
+        """Sum of a metric over all epochs for one pipeline."""
+        return float(np.sum(self.series(pipeline, metric)))
+
+    def savings(
+        self, pipeline: str, baseline: str, metric: str = "cost"
+    ) -> float:
+        """Relative total-metric saving of ``pipeline`` over ``baseline``."""
+        base = self.total(baseline, metric)
+        if base == 0:
+            return 0.0
+        return 1.0 - self.total(pipeline, metric) / base
+
+    def summary(self) -> str:
+        """Aligned totals table (cost and dummy transfers per pipeline)."""
+        lines = [
+            f"{'pipeline':<20} {'total cost':>16} {'total dummies':>14}"
+        ]
+        for name in self.pipelines:
+            lines.append(
+                f"{name:<20} {self.total(name, 'cost'):>16,.0f} "
+                f"{self.total(name, 'num_dummy_transfers'):>14,.0f}"
+            )
+        return "\n".join(lines)
+
+
+def run_scenario(
+    instances: Iterable[RtspInstance],
+    pipelines: List[str],
+    base_seed: int = 0,
+) -> ScenarioResult:
+    """Run every pipeline over every epoch's instance.
+
+    Each (epoch, pipeline) cell gets a stable derived seed, so pipelines
+    are compared on identical runs and any cell is reproducible.
+    """
+    built = {name: build_pipeline(name) for name in pipelines}
+    result = ScenarioResult(pipelines=list(pipelines))
+    for epoch, instance in enumerate(instances):
+        for name, pipeline in built.items():
+            seed = derive_seed(base_seed, "scenario", epoch, name)
+            t0 = time.perf_counter()
+            schedule = pipeline.run(instance, rng=seed)
+            seconds = time.perf_counter() - t0
+            result.epochs.append(
+                EpochResult(
+                    epoch=epoch,
+                    pipeline=name,
+                    stats=schedule_stats(schedule, instance),
+                    seconds=seconds,
+                )
+            )
+    return result

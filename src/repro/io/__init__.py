@@ -1,0 +1,34 @@
+"""Serialization: JSON interchange for instances and schedules.
+
+A deployment tool computing placements (or an external placement
+optimiser) can hand RTSP instances to this library, and the produced
+schedules can be shipped to an execution agent. The wire format is
+versioned JSON:
+
+* ``rtsp-instance/1`` — sizes, capacities, the extended cost matrix
+  (dummy last), ``X_old`` and ``X_new``;
+* ``rtsp-schedule/1`` — a list of compact action tuples
+  (``["T", target, obj, source]`` / ``["D", server, obj]``).
+"""
+
+from repro.io.json_format import (
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    load_schedule,
+    save_instance,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+__all__ = [
+    "instance_from_dict",
+    "instance_to_dict",
+    "load_instance",
+    "load_schedule",
+    "save_instance",
+    "save_schedule",
+    "schedule_from_dict",
+    "schedule_to_dict",
+]

@@ -1,0 +1,125 @@
+"""Versioned JSON (de)serialization of instances and schedules."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from repro.model.actions import Action, Delete, Transfer
+from repro.model.instance import RtspInstance
+from repro.model.schedule import Schedule
+from repro.util.errors import ConfigurationError
+
+INSTANCE_FORMAT = "rtsp-instance/1"
+SCHEDULE_FORMAT = "rtsp-schedule/1"
+
+PathLike = Union[str, "os.PathLike[str]"]  # noqa: F821 - doc only
+
+
+# ----------------------------------------------------------------------
+# instances
+# ----------------------------------------------------------------------
+def instance_to_dict(instance: RtspInstance) -> Dict[str, Any]:
+    """Serialise an instance (extended cost matrix included)."""
+    return {
+        "format": INSTANCE_FORMAT,
+        "num_servers": instance.num_servers,
+        "num_objects": instance.num_objects,
+        "sizes": instance.sizes.tolist(),
+        "capacities": instance.capacities.tolist(),
+        "costs": instance.costs.tolist(),
+        "x_old": instance.x_old.tolist(),
+        "x_new": instance.x_new.tolist(),
+    }
+
+
+def instance_from_dict(data: Dict[str, Any]) -> RtspInstance:
+    """Deserialise (and fully re-validate) an instance."""
+    if data.get("format") != INSTANCE_FORMAT:
+        raise ConfigurationError(
+            f"expected format {INSTANCE_FORMAT!r}, got {data.get('format')!r}"
+        )
+    try:
+        return RtspInstance.create(
+            sizes=np.asarray(data["sizes"], dtype=np.float64),
+            capacities=np.asarray(data["capacities"], dtype=np.float64),
+            costs=np.asarray(data["costs"], dtype=np.float64),
+            x_old=np.asarray(data["x_old"], dtype=np.int8),
+            x_new=np.asarray(data["x_new"], dtype=np.int8),
+        )
+    except KeyError as missing:
+        raise ConfigurationError(f"instance JSON missing key {missing}") from None
+
+
+def save_instance(instance: RtspInstance, path) -> None:
+    """Write an instance to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(instance_to_dict(instance), fh)
+
+
+def load_instance(path) -> RtspInstance:
+    """Read an instance from a JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return instance_from_dict(json.load(fh))
+
+
+# ----------------------------------------------------------------------
+# schedules
+# ----------------------------------------------------------------------
+def _encode_action(action: Action):
+    if isinstance(action, Transfer):
+        return ["T", action.target, action.obj, action.source]
+    if isinstance(action, Delete):
+        return ["D", action.server, action.obj]
+    raise ConfigurationError(f"unknown action type {type(action).__name__}")
+
+
+def _decode_action(row) -> Action:
+    if not row:
+        raise ConfigurationError("empty action row")
+    kind = row[0]
+    if kind == "T":
+        if len(row) != 4:
+            raise ConfigurationError(f"transfer row needs 4 fields: {row!r}")
+        return Transfer(int(row[1]), int(row[2]), int(row[3]))
+    if kind == "D":
+        if len(row) != 3:
+            raise ConfigurationError(f"delete row needs 3 fields: {row!r}")
+        return Delete(int(row[1]), int(row[2]))
+    raise ConfigurationError(f"unknown action kind {kind!r}")
+
+
+def schedule_to_dict(schedule: Schedule) -> Dict[str, Any]:
+    """Serialise a schedule to compact action rows."""
+    return {
+        "format": SCHEDULE_FORMAT,
+        "actions": [_encode_action(a) for a in schedule],
+    }
+
+
+def schedule_from_dict(data: Dict[str, Any]) -> Schedule:
+    """Deserialise a schedule (structure only; validate against an
+    instance with ``schedule.validate`` separately)."""
+    if data.get("format") != SCHEDULE_FORMAT:
+        raise ConfigurationError(
+            f"expected format {SCHEDULE_FORMAT!r}, got {data.get('format')!r}"
+        )
+    try:
+        rows = data["actions"]
+    except KeyError:
+        raise ConfigurationError("schedule JSON missing 'actions'") from None
+    return Schedule(_decode_action(row) for row in rows)
+
+
+def save_schedule(schedule: Schedule, path) -> None:
+    """Write a schedule to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(schedule_to_dict(schedule), fh)
+
+
+def load_schedule(path) -> Schedule:
+    """Read a schedule from a JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return schedule_from_dict(json.load(fh))

@@ -1,0 +1,56 @@
+"""Schedule actions: object transfers and replica deletions.
+
+Notation follows the paper (§3.2): ``T_ikj`` transfers object ``O_k`` to
+server ``S_i`` using ``S_j`` as the source; ``D_ik`` deletes the replica of
+``O_k`` held at ``S_i``. Actions are immutable value objects so they can be
+shared between schedule variants produced by the optimizers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True, order=True)
+class Transfer:
+    """``T_ikj``: copy object ``obj`` onto ``target`` from ``source``.
+
+    ``source`` may be the dummy-server index, in which case this is a
+    *dummy transfer* (artificial, maximally expensive; see paper §3.3).
+    """
+
+    target: int
+    obj: int
+    source: int
+
+    def with_source(self, source: int) -> "Transfer":
+        """Same transfer re-pointed at a different source server."""
+        return Transfer(self.target, self.obj, source)
+
+    def __str__(self) -> str:
+        return f"T({self.target},{self.obj},{self.source})"
+
+
+@dataclass(frozen=True, order=True)
+class Delete:
+    """``D_ik``: remove the replica of object ``obj`` held at ``server``."""
+
+    server: int
+    obj: int
+
+    def __str__(self) -> str:
+        return f"D({self.server},{self.obj})"
+
+
+Action = Union[Transfer, Delete]
+
+
+def is_transfer(action: Action) -> bool:
+    """Whether ``action`` is a :class:`Transfer`."""
+    return isinstance(action, Transfer)
+
+
+def is_delete(action: Action) -> bool:
+    """Whether ``action`` is a :class:`Delete`."""
+    return isinstance(action, Delete)

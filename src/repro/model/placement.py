@@ -1,0 +1,84 @@
+"""Replication-matrix helpers.
+
+A replication scheme is an ``M x N`` 0/1 matrix ``X`` with ``X[i, k] = 1``
+iff server ``S_i`` replicates object ``O_k`` (paper §3.1). These helpers
+are pure functions over such matrices; the mutable simulation lives in
+:mod:`repro.model.state`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.util.validation import check_binary_matrix, check_nonnegative
+
+
+def loads(x: np.ndarray, sizes: np.ndarray) -> np.ndarray:
+    """Storage used per server: ``loads[i] = sum_k X[i,k] * s(O_k)``."""
+    x = check_binary_matrix(x, "X")
+    sizes = check_nonnegative(sizes, "sizes")
+    if x.shape[1] != sizes.shape[0]:
+        raise ValueError(
+            f"X has {x.shape[1]} objects but sizes has {sizes.shape[0]}"
+        )
+    return x.astype(np.float64) @ sizes
+
+
+def placement_fits(x: np.ndarray, sizes: np.ndarray, capacities: np.ndarray) -> bool:
+    """Whether every server's load under ``x`` fits its capacity."""
+    capacities = check_nonnegative(capacities, "capacities")
+    used = loads(x, sizes)
+    if used.shape != capacities.shape:
+        raise ValueError("capacities length must equal number of servers")
+    return bool((used <= capacities + 1e-9).all())
+
+
+def outstanding_mask(x_old: np.ndarray, x_new: np.ndarray) -> np.ndarray:
+    """Replicas to *create*: ``X_new = 1`` where ``X_old = 0``."""
+    x_old = check_binary_matrix(x_old, "X_old")
+    x_new = check_binary_matrix(x_new, "X_new")
+    if x_old.shape != x_new.shape:
+        raise ValueError("X_old and X_new must have identical shapes")
+    return ((x_new == 1) & (x_old == 0)).astype(np.int8)
+
+
+def superfluous_mask(x_old: np.ndarray, x_new: np.ndarray) -> np.ndarray:
+    """Replicas to *delete*: ``X_old = 1`` where ``X_new = 0``."""
+    x_old = check_binary_matrix(x_old, "X_old")
+    x_new = check_binary_matrix(x_new, "X_new")
+    if x_old.shape != x_new.shape:
+        raise ValueError("X_old and X_new must have identical shapes")
+    return ((x_old == 1) & (x_new == 0)).astype(np.int8)
+
+
+def overlap_fraction(x_old: np.ndarray, x_new: np.ndarray) -> float:
+    """Fraction of ``X_new``'s replicas already present in ``X_old``.
+
+    The paper's experiments use 0% overlap (completely reshuffled
+    placements); partial overlap is the common production case.
+    """
+    x_old = check_binary_matrix(x_old, "X_old")
+    x_new = check_binary_matrix(x_new, "X_new")
+    if x_old.shape != x_new.shape:
+        raise ValueError("X_old and X_new must have identical shapes")
+    total_new = int(x_new.sum())
+    if total_new == 0:
+        return 1.0
+    common = int(((x_old == 1) & (x_new == 1)).sum())
+    return common / total_new
+
+
+def replica_counts(x: np.ndarray) -> np.ndarray:
+    """Number of replicas per object: ``counts[k] = sum_i X[i,k]``."""
+    x = check_binary_matrix(x, "X")
+    return x.sum(axis=0, dtype=np.int64)
+
+
+def diff_counts(x_old: np.ndarray, x_new: np.ndarray) -> Tuple[int, int]:
+    """``(num_outstanding, num_superfluous)`` between the two schemes."""
+    return (
+        int(outstanding_mask(x_old, x_new).sum()),
+        int(superfluous_mask(x_old, x_new).sum()),
+    )

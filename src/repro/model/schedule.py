@@ -1,0 +1,218 @@
+"""Schedules: ordered action sequences with replay, validation and cost.
+
+A :class:`Schedule` is the object every builder produces and every
+optimizer rewrites. It is a thin mutable wrapper over a list of actions
+plus the accounting defined in paper §3.2:
+
+* *implementation cost* ``I^H = Σ s(O_k) · l_ij`` over transfer actions,
+* *validity w.r.t.* ``(X_old, X_new)``: each action valid stepwise and the
+  final replication matrix equal to ``X_new``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.model.actions import Action, Delete, Transfer
+from repro.model.instance import RtspInstance
+from repro.model.state import SystemState
+from repro.util.errors import InvalidActionError, InvalidScheduleError
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of validating a schedule against an instance.
+
+    Attributes
+    ----------
+    ok:
+        True iff every action was valid and the end state equals ``X_new``.
+    position:
+        Index of the first invalid action, or ``None``.
+    message:
+        Human-readable failure reason, or ``None`` when ``ok``.
+    cost:
+        Implementation cost accumulated up to the failure point (full cost
+        when ``ok``).
+    dummy_transfers:
+        Number of dummy transfers seen up to the failure point.
+    """
+
+    ok: bool
+    position: Optional[int]
+    message: Optional[str]
+    cost: float
+    dummy_transfers: int
+
+
+class Schedule:
+    """Mutable ordered sequence of :class:`Transfer`/:class:`Delete` actions."""
+
+    def __init__(self, actions: Iterable[Action] = ()) -> None:
+        self._actions: List[Action] = list(actions)
+
+    # ------------------------------------------------------------------
+    # sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._actions)
+
+    def __iter__(self) -> Iterator[Action]:
+        return iter(self._actions)
+
+    def __getitem__(self, idx):
+        return self._actions[idx]
+
+    def __setitem__(self, idx: int, action: Action) -> None:
+        self._actions[idx] = action
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Schedule):
+            return self._actions == other._actions
+        return NotImplemented
+
+    # ------------------------------------------------------------------
+    # editing
+    # ------------------------------------------------------------------
+    def append(self, action: Action) -> None:
+        """Append ``action`` at the end."""
+        self._actions.append(action)
+
+    def extend(self, actions: Iterable[Action]) -> None:
+        """Append every action of ``actions`` in order."""
+        self._actions.extend(actions)
+
+    def insert(self, index: int, action: Action) -> None:
+        """Insert ``action`` before position ``index``."""
+        self._actions.insert(index, action)
+
+    def pop(self, index: int) -> Action:
+        """Remove and return the action at ``index``."""
+        return self._actions.pop(index)
+
+    def move(self, src: int, dst: int) -> None:
+        """Move the action at position ``src`` so it ends up at ``dst``.
+
+        ``dst`` is interpreted against the list *after* removal, i.e.
+        ``move(5, 2)`` places the former fifth action at index 2.
+        """
+        action = self._actions.pop(src)
+        self._actions.insert(dst, action)
+
+    def copy(self) -> "Schedule":
+        """Shallow copy (actions are immutable, so this is a safe fork)."""
+        return Schedule(self._actions)
+
+    def actions(self) -> List[Action]:
+        """The underlying action list (a copy)."""
+        return list(self._actions)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def transfers(self) -> List[Transfer]:
+        """All transfer actions, in schedule order."""
+        return [a for a in self._actions if isinstance(a, Transfer)]
+
+    def deletions(self) -> List[Delete]:
+        """All delete actions, in schedule order."""
+        return [a for a in self._actions if isinstance(a, Delete)]
+
+    def dummy_transfer_positions(self, instance: RtspInstance) -> List[int]:
+        """Indices of transfers sourced from the dummy server."""
+        d = instance.dummy
+        return [
+            idx
+            for idx, a in enumerate(self._actions)
+            if isinstance(a, Transfer) and a.source == d
+        ]
+
+    def count_dummy_transfers(self, instance: RtspInstance) -> int:
+        """Number of dummy transfers in the schedule."""
+        return len(self.dummy_transfer_positions(instance))
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def cost(self, instance: RtspInstance) -> float:
+        """Implementation cost ``Σ s(O_k) · l[target, source]`` (eq. 1)."""
+        total = 0.0
+        sizes, costs = instance.sizes, instance.costs
+        for a in self._actions:
+            if isinstance(a, Transfer):
+                total += float(sizes[a.obj] * costs[a.target, a.source])
+        return total
+
+    def action_cost(self, instance: RtspInstance, index: int) -> float:
+        """Cost of the single action at ``index`` (0 for deletions)."""
+        a = self._actions[index]
+        if isinstance(a, Transfer):
+            return instance.transfer_cost(a.target, a.obj, a.source)
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # replay / validation
+    # ------------------------------------------------------------------
+    def replay(
+        self, instance: RtspInstance, stop: Optional[int] = None
+    ) -> SystemState:
+        """Apply the first ``stop`` actions (all by default) to ``X_old``.
+
+        Raises :class:`InvalidActionError` at the first invalid action.
+        """
+        state = SystemState(instance)
+        end = len(self._actions) if stop is None else stop
+        for idx in range(end):
+            state.apply(self._actions[idx], position=idx)
+        return state
+
+    def validate(self, instance: RtspInstance) -> ValidationReport:
+        """Check validity w.r.t. ``(X_old, X_new)`` without raising."""
+        state = SystemState(instance)
+        cost = 0.0
+        dummies = 0
+        for idx, a in enumerate(self._actions):
+            reason = state.explain_invalid(a)
+            if reason is not None:
+                return ValidationReport(False, idx, f"{a}: {reason}", cost, dummies)
+            if isinstance(a, Transfer):
+                cost += instance.transfer_cost(a.target, a.obj, a.source)
+                if a.source == instance.dummy:
+                    dummies += 1
+            state.apply(a)
+        if not state.matches(instance.x_new):
+            return ValidationReport(
+                False, None, "final placement differs from X_new", cost, dummies
+            )
+        return ValidationReport(True, None, None, cost, dummies)
+
+    def is_valid(self, instance: RtspInstance) -> bool:
+        """Shorthand for ``validate(instance).ok``."""
+        return self.validate(instance).ok
+
+    def require_valid(self, instance: RtspInstance) -> None:
+        """Raise :class:`InvalidScheduleError` unless the schedule is valid."""
+        report = self.validate(instance)
+        if not report.ok:
+            raise InvalidScheduleError(report.message or "invalid schedule",
+                                       position=report.position)
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def summary(self, instance: RtspInstance) -> str:
+        """One-line human-readable summary."""
+        report = self.validate(instance)
+        status = "valid" if report.ok else f"INVALID@{report.position}"
+        return (
+            f"Schedule[{len(self)} actions, {len(self.transfers())} transfers, "
+            f"{report.dummy_transfers} dummy, cost={report.cost:.6g}, {status}]"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        head = ", ".join(str(a) for a in self._actions[:6])
+        tail = ", …" if len(self._actions) > 6 else ""
+        return f"Schedule([{head}{tail}], len={len(self)})"

@@ -1,0 +1,256 @@
+"""Mutable simulation state for stepwise schedule execution.
+
+:class:`SystemState` tracks the current replication matrix ``X^u``, free
+storage per server, and per-object replicator sets, and implements the
+action semantics of paper §3.2:
+
+* ``T_ikj`` is valid iff ``S_j`` replicates ``O_k``, ``S_i`` does not, and
+  ``S_i`` has free storage for a copy;
+* ``D_ik`` is valid iff ``S_i`` replicates ``O_k``.
+
+The dummy server (index ``instance.dummy``) permanently replicates every
+object, has unbounded storage, and can never be a transfer target or a
+deletion site.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.model.actions import Action, Delete, Transfer
+from repro.model.instance import RtspInstance
+from repro.util.errors import InvalidActionError
+
+#: Numerical slack for storage comparisons (sizes are usually integers,
+#: but generators may produce floats).
+CAPACITY_EPS = 1e-9
+
+
+class SystemState:
+    """Current replication state of an instance, supporting apply/undo.
+
+    Parameters
+    ----------
+    instance:
+        The problem instance providing sizes, capacities and costs.
+    placement:
+        Starting ``M x N`` replication matrix; defaults to ``X_old``.
+    """
+
+    def __init__(
+        self, instance: RtspInstance, placement: Optional[np.ndarray] = None
+    ) -> None:
+        self.instance = instance
+        start = instance.x_old if placement is None else placement
+        m, n = instance.num_servers, instance.num_objects
+        if start.shape != (m, n):
+            raise ValueError(f"placement must be {m}x{n}, got {start.shape}")
+        self._holds = np.array(start, dtype=np.int8, copy=True)
+        self._free = instance.capacities - (
+            self._holds.astype(np.float64) @ instance.sizes
+        )
+        if self._free.min(initial=0.0) < -CAPACITY_EPS:
+            raise InvalidActionError("starting placement violates capacities")
+        self._replicators: List[Set[int]] = [
+            set(np.flatnonzero(self._holds[:, k]).tolist()) for k in range(n)
+        ]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def dummy(self) -> int:
+        """Index of the dummy server."""
+        return self.instance.dummy
+
+    def holds(self, server: int, obj: int) -> bool:
+        """Whether ``server`` currently replicates ``obj``.
+
+        The dummy server holds everything by definition.
+        """
+        if server == self.dummy:
+            return True
+        return bool(self._holds[server, obj])
+
+    def free_space(self, server: int) -> float:
+        """Remaining storage at ``server`` (``inf`` for the dummy)."""
+        if server == self.dummy:
+            return float("inf")
+        return float(self._free[server])
+
+    def replicators(self, obj: int) -> FrozenSet[int]:
+        """Real servers currently replicating ``obj`` (dummy excluded)."""
+        return frozenset(self._replicators[obj])
+
+    def num_replicas(self, obj: int) -> int:
+        """Number of real replicas of ``obj``."""
+        return len(self._replicators[obj])
+
+    def placement(self) -> np.ndarray:
+        """Copy of the current ``M x N`` replication matrix."""
+        return self._holds.copy()
+
+    def matches(self, x: np.ndarray) -> bool:
+        """Whether the current placement equals ``x`` exactly."""
+        return bool(np.array_equal(self._holds, x))
+
+    # ------------------------------------------------------------------
+    # nearest-replicator queries (paper's N(i,k,X) and N2(i,k,X))
+    # ------------------------------------------------------------------
+    def nearest(
+        self, server: int, obj: int, exclude: Iterable[int] = ()
+    ) -> int:
+        """Cheapest current source of ``obj`` for ``server``.
+
+        Returns the dummy index when no (non-excluded) real replicator
+        exists. ``server`` itself is never a candidate. Ties break toward
+        the lowest server index for determinism.
+        """
+        costs_row = self.instance.costs[server]
+        banned = set(exclude)
+        banned.add(server)
+        best, best_cost = self.dummy, float(costs_row[self.dummy])
+        for j in self._replicators[obj]:
+            if j in banned:
+                continue
+            c = float(costs_row[j])
+            if c < best_cost or (c == best_cost and j < best):
+                best, best_cost = j, c
+        return best
+
+    def nearest_pair(self, server: int, obj: int) -> Tuple[int, int]:
+        """``(N(i,k,X), N2(i,k,X))``: nearest and second-nearest sources.
+
+        Either entry degrades to the dummy index when fewer than one / two
+        real replicators exist.
+        """
+        first = self.nearest(server, obj)
+        if first == self.dummy:
+            return first, self.dummy
+        second = self.nearest(server, obj, exclude=(first,))
+        return first, second
+
+    def nearest_cost(self, server: int, obj: int) -> float:
+        """Per-unit cost to the nearest current source of ``obj``."""
+        return float(self.instance.costs[server, self.nearest(server, obj)])
+
+    # ------------------------------------------------------------------
+    # action semantics
+    # ------------------------------------------------------------------
+    def _out_of_range(self, action: Action) -> Optional[str]:
+        """Range-check the action's indices (servers may include the dummy)."""
+        if isinstance(action, Transfer):
+            servers, obj = (action.target, action.source), action.obj
+        else:
+            servers, obj = (action.server,), action.obj
+        for s in servers:
+            if not 0 <= s <= self.dummy:
+                return f"server index {s} out of range [0, {self.dummy}]"
+        if not 0 <= obj < self.instance.num_objects:
+            return (
+                f"object index {obj} out of range "
+                f"[0, {self.instance.num_objects})"
+            )
+        return None
+
+    def explain_invalid(self, action: Action) -> Optional[str]:
+        """Reason ``action`` is invalid in this state, or ``None`` if valid."""
+        bounds = self._out_of_range(action)
+        if bounds is not None:
+            return bounds
+        if isinstance(action, Transfer):
+            i, k, j = action.target, action.obj, action.source
+            if i == self.dummy:
+                return "cannot transfer onto the dummy server"
+            if i == j:
+                return "transfer source equals target"
+            if not self.holds(j, k):
+                return f"source S_{j} does not replicate O_{k}"
+            if self.holds(i, k):
+                return f"target S_{i} already replicates O_{k}"
+            if self._free[i] + CAPACITY_EPS < self.instance.sizes[k]:
+                return (
+                    f"target S_{i} lacks space for O_{k} "
+                    f"(free={self._free[i]:.6g}, size={self.instance.sizes[k]:.6g})"
+                )
+            return None
+        if isinstance(action, Delete):
+            i, k = action.server, action.obj
+            if i == self.dummy:
+                return "cannot delete from the dummy server"
+            if not self.holds(i, k):
+                return f"S_{i} does not replicate O_{k}"
+            return None
+        return f"unknown action type {type(action).__name__}"
+
+    def is_valid(self, action: Action) -> bool:
+        """Whether ``action`` may be applied in the current state."""
+        return self.explain_invalid(action) is None
+
+    def apply(self, action: Action, position: Optional[int] = None) -> None:
+        """Apply ``action``, mutating the state.
+
+        Raises :class:`InvalidActionError` (with the offending action and
+        optional schedule position attached) if the action is invalid.
+        """
+        reason = self.explain_invalid(action)
+        if reason is not None:
+            raise InvalidActionError(
+                f"invalid action {action}: {reason}", action=action, position=position
+            )
+        if isinstance(action, Transfer):
+            i, k = action.target, action.obj
+            self._holds[i, k] = 1
+            self._free[i] -= self.instance.sizes[k]
+            self._replicators[k].add(i)
+        else:
+            i, k = action.server, action.obj
+            self._holds[i, k] = 0
+            self._free[i] += self.instance.sizes[k]
+            self._replicators[k].discard(i)
+
+    def undo(self, action: Action) -> None:
+        """Invert a previously applied ``action``.
+
+        Only correct when ``action`` was the most recent mutation (or when
+        the caller otherwise guarantees the inverse is consistent); used by
+        the exact solver's depth-first search.
+        """
+        if isinstance(action, Transfer):
+            i, k = action.target, action.obj
+            if not self._holds[i, k]:
+                raise InvalidActionError(f"cannot undo {action}: replica absent")
+            self._holds[i, k] = 0
+            self._free[i] += self.instance.sizes[k]
+            self._replicators[k].discard(i)
+        elif isinstance(action, Delete):
+            i, k = action.server, action.obj
+            if self._holds[i, k]:
+                raise InvalidActionError(f"cannot undo {action}: replica present")
+            if self._free[i] + CAPACITY_EPS < self.instance.sizes[k]:
+                raise InvalidActionError(f"cannot undo {action}: no space left")
+            self._holds[i, k] = 1
+            self._free[i] -= self.instance.sizes[k]
+            self._replicators[k].add(i)
+        else:
+            raise InvalidActionError(f"unknown action type {type(action).__name__}")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def copy(self) -> "SystemState":
+        """Deep copy (the shared immutable instance is not duplicated)."""
+        dup = object.__new__(SystemState)
+        dup.instance = self.instance
+        dup._holds = self._holds.copy()
+        dup._free = self._free.copy()
+        dup._replicators = [set(s) for s in self._replicators]
+        return dup
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SystemState(replicas={int(self._holds.sum())}, "
+            f"free_min={float(self._free.min()):.4g})"
+        )

@@ -1,0 +1,62 @@
+"""Network substrate: topology generation and communication-cost matrices.
+
+The paper evaluates RTSP on a 50-node tree generated with the BRITE tool
+under the Barabási–Albert model, with uniform-integer link costs and
+server-to-server costs equal to aggregated shortest-path link costs. This
+subpackage re-implements that substrate:
+
+* :mod:`repro.network.topology` — the :class:`Topology` container,
+* :mod:`repro.network.brite` — BRITE-like Barabási–Albert generator,
+* :mod:`repro.network.generators` — additional reference topologies,
+* :mod:`repro.network.paths` — all-pairs shortest paths (Dijkstra and a
+  vectorised Floyd–Warshall),
+* :mod:`repro.network.costmatrix` — cost-matrix construction and the
+  dummy-server extension of §3.3.
+"""
+
+from repro.network.topology import Topology
+from repro.network.brite import barabasi_albert_topology, brite_paper_topology
+from repro.network.generators import (
+    star_topology,
+    ring_topology,
+    line_topology,
+    grid_topology,
+    complete_topology,
+    random_tree_topology,
+    erdos_renyi_topology,
+    waxman_topology,
+)
+from repro.network.paths import (
+    all_pairs_shortest_paths,
+    dijkstra,
+    floyd_warshall,
+)
+from repro.network.costmatrix import (
+    cost_matrix_from_topology,
+    dummy_link_cost,
+    extend_with_dummy,
+    strip_dummy,
+    uniform_cost_matrix,
+)
+
+__all__ = [
+    "Topology",
+    "barabasi_albert_topology",
+    "brite_paper_topology",
+    "star_topology",
+    "ring_topology",
+    "line_topology",
+    "grid_topology",
+    "complete_topology",
+    "random_tree_topology",
+    "erdos_renyi_topology",
+    "waxman_topology",
+    "all_pairs_shortest_paths",
+    "dijkstra",
+    "floyd_warshall",
+    "cost_matrix_from_topology",
+    "dummy_link_cost",
+    "extend_with_dummy",
+    "strip_dummy",
+    "uniform_cost_matrix",
+]

@@ -1,0 +1,126 @@
+"""BRITE-like Barabási–Albert topology generation.
+
+The paper generates its server network with the BRITE tool [16] configured
+for 50 nodes with connectivity 1 under the Barabási–Albert (BA) model,
+yielding a power-law *tree*, and assigns each link a fixed cost drawn
+uniformly from {1, …, 10}. BRITE itself is an external Java/C++ tool; this
+module re-implements the relevant slice of it: incremental growth with
+preferential attachment, degree-proportional target selection, and uniform
+link-cost assignment.
+
+With connectivity ``m = 1`` each arriving node attaches to exactly one
+existing node chosen with probability proportional to its current degree —
+the classic BA process of [2], producing a scale-free tree.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.network.topology import Topology
+from repro.util.errors import ConfigurationError
+from repro.util.rng import ensure_rng
+
+
+def barabasi_albert_topology(
+    n: int,
+    m: int = 1,
+    cost_low: float = 1.0,
+    cost_high: float = 10.0,
+    integer_costs: bool = True,
+    rng=None,
+) -> Topology:
+    """Generate a Barabási–Albert topology with uniform link costs.
+
+    Parameters
+    ----------
+    n:
+        Total number of nodes (>= max(2, m + 1)).
+    m:
+        Number of links each new node creates ("connectivity" in BRITE
+        terms). ``m=1`` gives a tree, matching the paper's setup.
+    cost_low, cost_high:
+        Bounds of the uniform link-cost distribution (inclusive for the
+        integer case, matching BRITE's U[1,10] default).
+    integer_costs:
+        Draw integer costs from ``{cost_low, …, cost_high}`` when true,
+        else continuous uniform.
+    rng:
+        Seed or generator for reproducibility.
+    """
+    if m < 1:
+        raise ConfigurationError("connectivity m must be >= 1")
+    if n < m + 1:
+        raise ConfigurationError(f"need at least m+1={m + 1} nodes, got {n}")
+    if cost_high < cost_low:
+        raise ConfigurationError("cost_high must be >= cost_low")
+    gen = ensure_rng(rng)
+
+    topo = Topology(n)
+    # Seed graph: a clique over the first m+1 nodes so every node starts
+    # with positive degree and the preferential-attachment weights are
+    # well defined. For m=1 this is a single link.
+    repeated: list = []  # node id repeated once per incident link endpoint
+    for u in range(m + 1):
+        for v in range(u + 1, m + 1):
+            topo.add_link(u, v, _draw_cost(gen, cost_low, cost_high, integer_costs))
+            repeated.append(u)
+            repeated.append(v)
+
+    for new in range(m + 1, n):
+        targets: set = set()
+        while len(targets) < m:
+            # Selecting a uniform entry from `repeated` selects an existing
+            # node with probability proportional to its degree.
+            targets.add(repeated[int(gen.integers(0, len(repeated)))])
+        for t in targets:
+            topo.add_link(new, t, _draw_cost(gen, cost_low, cost_high, integer_costs))
+            repeated.append(new)
+            repeated.append(t)
+    return topo
+
+
+def brite_paper_topology(
+    n: int = 50,
+    cost_low: float = 1.0,
+    cost_high: float = 10.0,
+    rng=None,
+) -> Topology:
+    """The exact topology family used in the paper's evaluation (§5.1).
+
+    50 nodes, connectivity 1 (tree), BA attachment, integer link costs
+    uniform in {1..10}.
+    """
+    topo = barabasi_albert_topology(
+        n=n,
+        m=1,
+        cost_low=cost_low,
+        cost_high=cost_high,
+        integer_costs=True,
+        rng=rng,
+    )
+    assert topo.is_tree(), "connectivity-1 BA generation must yield a tree"
+    return topo
+
+
+def degree_histogram(topo: Topology) -> np.ndarray:
+    """Return ``hist`` where ``hist[d]`` counts nodes of degree ``d``.
+
+    Used by tests to check the heavy-tailed degree distribution the BA
+    process is expected to produce.
+    """
+    degrees = [topo.degree(u) for u in range(topo.num_nodes)]
+    hist = np.zeros(max(degrees) + 1, dtype=np.int64)
+    for d in degrees:
+        hist[d] += 1
+    return hist
+
+
+def _draw_cost(
+    gen: np.random.Generator, low: float, high: float, integer: bool
+) -> float:
+    if integer:
+        return float(gen.integers(int(low), int(high) + 1))
+    return float(gen.uniform(low, high))

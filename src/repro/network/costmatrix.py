@@ -1,0 +1,98 @@
+"""Communication-cost matrices and the dummy-server extension (paper §3.3).
+
+Conventions used throughout the library:
+
+* A *plain* cost matrix is an ``M x M`` symmetric float array with zero
+  diagonal; entry ``[i, j]`` is the per-data-unit cost between servers
+  ``i`` and ``j``.
+* An *extended* cost matrix has one extra trailing row/column for the
+  dummy server ``S_d`` (index ``M``), whose cost to every real server is
+  ``a * (max(l) + 1)`` with ``a >= 1`` by default. Algorithms operate on
+  extended matrices so a source always exists.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.network.paths import all_pairs_shortest_paths
+from repro.network.topology import Topology
+from repro.util.errors import ConfigurationError
+from repro.util.validation import check_symmetric
+
+
+def cost_matrix_from_topology(
+    topo: Topology, method: Optional[str] = None
+) -> np.ndarray:
+    """Server-to-server cost matrix = shortest-path aggregated link costs.
+
+    Raises if the topology is disconnected (infinite entries would poison
+    every downstream nearest-source query).
+    """
+    costs = all_pairs_shortest_paths(topo, method=method)
+    if not np.isfinite(costs).all():
+        raise ConfigurationError(
+            "topology is disconnected; cost matrix has infinite entries"
+        )
+    return costs
+
+
+def uniform_cost_matrix(m: int, cost: float = 1.0) -> np.ndarray:
+    """Cost matrix with the same cost between every distinct server pair."""
+    if m <= 0:
+        raise ConfigurationError("need at least one server")
+    mat = np.full((m, m), float(cost), dtype=np.float64)
+    np.fill_diagonal(mat, 0.0)
+    return mat
+
+
+def dummy_link_cost(costs: np.ndarray, a: float = 1.0) -> float:
+    """The paper's dummy-server link cost ``a * (max(l_ij) + 1)``.
+
+    ``a >= 1`` makes the dummy the strictly most expensive source, so any
+    cost-minimising schedule also minimises dummy usage. ``a < 1`` models
+    cheap out-of-band replica creation and is accepted but unusual.
+    """
+    if a <= 0:
+        raise ConfigurationError("dummy cost constant a must be positive")
+    base = float(costs.max()) if costs.size else 0.0
+    return a * (base + 1.0)
+
+
+def extend_with_dummy(costs: np.ndarray, a: float = 1.0) -> np.ndarray:
+    """Append the dummy server as the last row/column of ``costs``.
+
+    The input must be a plain (square, symmetric, zero-diagonal) matrix;
+    the result is an ``(M+1) x (M+1)`` matrix whose last index is ``S_d``.
+    """
+    costs = check_symmetric(costs, "cost matrix")
+    if costs.size and float(np.abs(np.diagonal(costs)).max()) != 0.0:
+        raise ConfigurationError("cost matrix must have a zero diagonal")
+    m = costs.shape[0]
+    d = dummy_link_cost(costs, a)
+    out = np.zeros((m + 1, m + 1), dtype=np.float64)
+    out[:m, :m] = costs
+    out[m, :m] = d
+    out[:m, m] = d
+    return out
+
+
+def strip_dummy(extended: np.ndarray) -> Tuple[np.ndarray, float]:
+    """Inverse of :func:`extend_with_dummy`.
+
+    Returns ``(plain_costs, dummy_cost)``. The trailing row/column must be
+    constant off-diagonal, otherwise the matrix was not produced by
+    :func:`extend_with_dummy`.
+    """
+    extended = np.asarray(extended, dtype=np.float64)
+    if extended.ndim != 2 or extended.shape[0] != extended.shape[1]:
+        raise ConfigurationError("extended matrix must be square")
+    m = extended.shape[0] - 1
+    if m < 1:
+        raise ConfigurationError("extended matrix must cover at least one server")
+    row = extended[m, :m]
+    if row.size and not np.allclose(row, row[0]):
+        raise ConfigurationError("last row is not a uniform dummy row")
+    return extended[:m, :m].copy(), float(row[0]) if row.size else 0.0

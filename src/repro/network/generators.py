@@ -1,0 +1,206 @@
+"""Reference topologies beyond the paper's BA tree.
+
+The paper evaluates on one topology family; a reusable library should let
+users plug in whatever their deployment looks like. These generators cover
+the standard shapes used in replica-placement literature (stars for
+hub-and-spoke CDNs, rings/lines for chained PoPs, grids for data-centre
+fabrics, Waxman/Erdős–Rényi for random internets).
+
+All generators share the link-cost convention of :mod:`repro.network.brite`:
+costs drawn uniformly from ``[cost_low, cost_high]`` (integer by default).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.network.topology import Topology
+from repro.util.errors import ConfigurationError
+from repro.util.rng import ensure_rng
+
+
+def _cost(gen, low: float, high: float, integer: bool) -> float:
+    if integer:
+        return float(gen.integers(int(low), int(high) + 1))
+    return float(gen.uniform(low, high))
+
+
+def star_topology(
+    n: int, cost_low: float = 1.0, cost_high: float = 10.0,
+    integer_costs: bool = True, rng=None,
+) -> Topology:
+    """Hub-and-spoke: node 0 is the hub, all others attach to it."""
+    if n < 2:
+        raise ConfigurationError("star needs at least 2 nodes")
+    gen = ensure_rng(rng)
+    topo = Topology(n)
+    for v in range(1, n):
+        topo.add_link(0, v, _cost(gen, cost_low, cost_high, integer_costs))
+    return topo
+
+
+def line_topology(
+    n: int, cost_low: float = 1.0, cost_high: float = 10.0,
+    integer_costs: bool = True, rng=None,
+) -> Topology:
+    """Path graph ``0 — 1 — … — n-1``."""
+    if n < 2:
+        raise ConfigurationError("line needs at least 2 nodes")
+    gen = ensure_rng(rng)
+    topo = Topology(n)
+    for v in range(1, n):
+        topo.add_link(v - 1, v, _cost(gen, cost_low, cost_high, integer_costs))
+    return topo
+
+
+def ring_topology(
+    n: int, cost_low: float = 1.0, cost_high: float = 10.0,
+    integer_costs: bool = True, rng=None,
+) -> Topology:
+    """Cycle graph: a line plus the closing link ``n-1 — 0``."""
+    if n < 3:
+        raise ConfigurationError("ring needs at least 3 nodes")
+    gen = ensure_rng(rng)
+    topo = line_topology(n, cost_low, cost_high, integer_costs, gen)
+    topo.add_link(n - 1, 0, _cost(gen, cost_low, cost_high, integer_costs))
+    return topo
+
+
+def grid_topology(
+    rows: int, cols: int, cost_low: float = 1.0, cost_high: float = 10.0,
+    integer_costs: bool = True, rng=None,
+) -> Topology:
+    """``rows x cols`` mesh; node ``r*cols + c`` links to its 4-neighbours."""
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise ConfigurationError("grid needs at least 2 nodes")
+    gen = ensure_rng(rng)
+    topo = Topology(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            u = r * cols + c
+            if c + 1 < cols:
+                topo.add_link(u, u + 1, _cost(gen, cost_low, cost_high, integer_costs))
+            if r + 1 < rows:
+                topo.add_link(u, u + cols, _cost(gen, cost_low, cost_high, integer_costs))
+    return topo
+
+
+def complete_topology(
+    n: int, cost_low: float = 1.0, cost_high: float = 10.0,
+    integer_costs: bool = True, rng=None,
+) -> Topology:
+    """Full mesh over ``n`` nodes."""
+    if n < 2:
+        raise ConfigurationError("complete graph needs at least 2 nodes")
+    gen = ensure_rng(rng)
+    topo = Topology(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            topo.add_link(u, v, _cost(gen, cost_low, cost_high, integer_costs))
+    return topo
+
+
+def random_tree_topology(
+    n: int, cost_low: float = 1.0, cost_high: float = 10.0,
+    integer_costs: bool = True, rng=None,
+) -> Topology:
+    """Uniform random recursive tree: node ``v`` attaches to a uniform
+    earlier node (unlike BA, attachment is degree-blind)."""
+    if n < 2:
+        raise ConfigurationError("tree needs at least 2 nodes")
+    gen = ensure_rng(rng)
+    topo = Topology(n)
+    for v in range(1, n):
+        parent = int(gen.integers(0, v))
+        topo.add_link(parent, v, _cost(gen, cost_low, cost_high, integer_costs))
+    return topo
+
+
+def erdos_renyi_topology(
+    n: int, p: float, cost_low: float = 1.0, cost_high: float = 10.0,
+    integer_costs: bool = True, connect: bool = True, rng=None,
+) -> Topology:
+    """G(n, p) random graph; optionally patched to be connected.
+
+    When ``connect`` is true, any disconnected component is stitched to the
+    growing giant component with one extra random link, so downstream
+    shortest-path costs stay finite.
+    """
+    if n < 2:
+        raise ConfigurationError("graph needs at least 2 nodes")
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError("p must lie in [0, 1]")
+    gen = ensure_rng(rng)
+    topo = Topology(n)
+    mask = gen.random((n, n)) < p
+    for u in range(n):
+        for v in range(u + 1, n):
+            if mask[u, v]:
+                topo.add_link(u, v, _cost(gen, cost_low, cost_high, integer_costs))
+    if connect:
+        _connect_components(topo, gen, cost_low, cost_high, integer_costs)
+    return topo
+
+
+def waxman_topology(
+    n: int, alpha: float = 0.4, beta: float = 0.2,
+    cost_low: float = 1.0, cost_high: float = 10.0,
+    integer_costs: bool = True, connect: bool = True, rng=None,
+) -> Topology:
+    """Waxman random graph (the other classic BRITE model).
+
+    Nodes are placed uniformly on the unit square and each pair links with
+    probability ``alpha * exp(-d / (beta * L))`` where ``d`` is Euclidean
+    distance and ``L`` the diameter of the placement area.
+    """
+    if n < 2:
+        raise ConfigurationError("graph needs at least 2 nodes")
+    if alpha <= 0 or beta <= 0:
+        raise ConfigurationError("alpha and beta must be positive")
+    gen = ensure_rng(rng)
+    pts = gen.random((n, 2))
+    diam = math.sqrt(2.0)
+    topo = Topology(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            d = float(np.hypot(*(pts[u] - pts[v])))
+            if gen.random() < alpha * math.exp(-d / (beta * diam)):
+                topo.add_link(u, v, _cost(gen, cost_low, cost_high, integer_costs))
+    if connect:
+        _connect_components(topo, gen, cost_low, cost_high, integer_costs)
+    return topo
+
+
+def _connect_components(
+    topo: Topology, gen, cost_low: float, cost_high: float, integer: bool
+) -> None:
+    """Stitch disconnected components together with random bridge links."""
+    n = topo.num_nodes
+    comp = [-1] * n
+    n_comp = 0
+    for start in range(n):
+        if comp[start] != -1:
+            continue
+        stack = [start]
+        comp[start] = n_comp
+        while stack:
+            u = stack.pop()
+            for v in topo.neighbors(u):
+                if comp[v] == -1:
+                    comp[v] = n_comp
+                    stack.append(v)
+        n_comp += 1
+    if n_comp == 1:
+        return
+    # Link a random member of each extra component to a random node of
+    # component 0's growing union.
+    members = [[u for u in range(n) if comp[u] == c] for c in range(n_comp)]
+    pool = list(members[0])
+    for c in range(1, n_comp):
+        a = pool[int(gen.integers(0, len(pool)))]
+        b = members[c][int(gen.integers(0, len(members[c])))]
+        topo.add_link(a, b, _cost(gen, cost_low, cost_high, integer))
+        pool.extend(members[c])

@@ -1,0 +1,91 @@
+"""All-pairs shortest paths over a :class:`~repro.network.topology.Topology`.
+
+Server-to-server communication costs in the paper are the aggregated link
+costs along shortest paths (§5.1). Two interchangeable implementations are
+provided:
+
+* :func:`dijkstra` — binary-heap Dijkstra from one source, O(E log V);
+  repeated over sources it is the method of choice for the sparse BA trees
+  the paper uses.
+* :func:`floyd_warshall` — numpy-vectorised Floyd–Warshall, O(V^3) but with
+  tiny constants; preferable for small dense graphs and used to cross-check
+  Dijkstra in tests.
+
+:func:`all_pairs_shortest_paths` picks automatically based on density.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+import numpy as np
+
+from repro.network.topology import Topology
+from repro.util.errors import ConfigurationError
+
+
+def dijkstra(topo: Topology, source: int) -> np.ndarray:
+    """Single-source shortest path costs from ``source``.
+
+    Returns a length-``n`` float array; unreachable nodes get ``inf``.
+    """
+    n = topo.num_nodes
+    if not 0 <= source < n:
+        raise ConfigurationError(f"source {source} out of range for n={n}")
+    dist = np.full(n, np.inf, dtype=np.float64)
+    dist[source] = 0.0
+    visited = np.zeros(n, dtype=bool)
+    heap = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if visited[u]:
+            continue
+        visited[u] = True
+        for v, w in topo.neighbors(u).items():
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return dist
+
+
+def floyd_warshall(adjacency: np.ndarray) -> np.ndarray:
+    """All-pairs shortest paths from a dense adjacency matrix.
+
+    ``adjacency[u, v]`` is the direct link cost (``inf`` if absent, 0 on
+    the diagonal). The update over intermediate node ``k`` is vectorised as
+    a broadcasted outer sum, which keeps the inner loops in C.
+    """
+    dist = np.array(adjacency, dtype=np.float64, copy=True)
+    n = dist.shape[0]
+    if dist.shape != (n, n):
+        raise ConfigurationError("adjacency must be square")
+    for k in range(n):
+        # dist = min(dist, dist[:, k, None] + dist[None, k, :]) in place.
+        via_k = dist[:, k, None] + dist[None, k, :]
+        np.minimum(dist, via_k, out=dist)
+    return dist
+
+
+def all_pairs_shortest_paths(
+    topo: Topology, method: Optional[str] = None
+) -> np.ndarray:
+    """All-pairs shortest-path cost matrix for ``topo``.
+
+    ``method`` may be ``"dijkstra"``, ``"floyd-warshall"``, or ``None`` to
+    choose by density (Dijkstra for sparse graphs, FW for dense).
+    """
+    n = topo.num_nodes
+    if method is None:
+        # FW does n^3 work; n runs of Dijkstra do ~n * E log n. Prefer
+        # Dijkstra when E is well below n^2.
+        method = "dijkstra" if topo.num_links < n * max(1, n // 8) else "floyd-warshall"
+    if method == "dijkstra":
+        out = np.empty((n, n), dtype=np.float64)
+        for s in range(n):
+            out[s] = dijkstra(topo, s)
+        return out
+    if method == "floyd-warshall":
+        return floyd_warshall(topo.adjacency_matrix())
+    raise ConfigurationError(f"unknown APSP method {method!r}")

@@ -1,0 +1,158 @@
+"""Server-network topology container.
+
+A :class:`Topology` is an undirected weighted graph over ``n`` server
+nodes. Link weights are the per-data-unit communication costs of the
+physical (or virtual) links; end-to-end server costs are derived by the
+shortest-path routines in :mod:`repro.network.paths`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+Edge = Tuple[int, int, float]
+
+
+class Topology:
+    """Undirected weighted graph over servers ``0 .. n-1``.
+
+    Parameters
+    ----------
+    n:
+        Number of server nodes.
+    edges:
+        Iterable of ``(u, v, weight)`` triples. Parallel edges collapse to
+        the cheapest weight; self-loops are rejected.
+    """
+
+    def __init__(self, n: int, edges: Iterable[Edge] = ()) -> None:
+        if n <= 0:
+            raise ConfigurationError("topology needs at least one node")
+        self._n = int(n)
+        self._adj: List[Dict[int, float]] = [dict() for _ in range(self._n)]
+        for u, v, w in edges:
+            self.add_link(u, v, w)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_link(self, u: int, v: int, weight: float) -> None:
+        """Add (or cheapen) the undirected link ``u — v``."""
+        u, v = int(u), int(v)
+        if not (0 <= u < self._n and 0 <= v < self._n):
+            raise ConfigurationError(f"link ({u},{v}) out of range for n={self._n}")
+        if u == v:
+            raise ConfigurationError("self-loops are not allowed")
+        w = float(weight)
+        if w < 0:
+            raise ConfigurationError("link weights must be non-negative")
+        current = self._adj[u].get(v)
+        if current is None or w < current:
+            self._adj[u][v] = w
+            self._adj[v][u] = w
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of server nodes."""
+        return self._n
+
+    @property
+    def num_links(self) -> int:
+        """Number of undirected links."""
+        return sum(len(nbrs) for nbrs in self._adj) // 2
+
+    def neighbors(self, u: int) -> Dict[int, float]:
+        """Mapping ``neighbor -> link weight`` for node ``u`` (a copy)."""
+        return dict(self._adj[u])
+
+    def degree(self, u: int) -> int:
+        """Number of links incident to ``u``."""
+        return len(self._adj[u])
+
+    def has_link(self, u: int, v: int) -> bool:
+        """Whether the undirected link ``u — v`` exists."""
+        return v in self._adj[u]
+
+    def link_weight(self, u: int, v: int) -> float:
+        """Weight of link ``u — v``; raises ``KeyError`` if absent."""
+        return self._adj[u][v]
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over undirected edges once each, as ``(u, v, w)`` with u < v."""
+        for u, nbrs in enumerate(self._adj):
+            for v, w in nbrs.items():
+                if u < v:
+                    yield (u, v, w)
+
+    def is_connected(self) -> bool:
+        """Whether every node is reachable from node 0."""
+        if self._n == 1:
+            return True
+        seen = [False] * self._n
+        stack = [0]
+        seen[0] = True
+        count = 1
+        while stack:
+            u = stack.pop()
+            for v in self._adj[u]:
+                if not seen[v]:
+                    seen[v] = True
+                    count += 1
+                    stack.append(v)
+        return count == self._n
+
+    def is_tree(self) -> bool:
+        """Whether the topology is a connected acyclic graph."""
+        return self.is_connected() and self.num_links == self._n - 1
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def adjacency_matrix(self, no_link: float = np.inf) -> np.ndarray:
+        """Dense ``n x n`` link-weight matrix, ``no_link`` where absent.
+
+        The diagonal is always zero.
+        """
+        mat = np.full((self._n, self._n), float(no_link), dtype=np.float64)
+        np.fill_diagonal(mat, 0.0)
+        for u, v, w in self.edges():
+            mat[u, v] = w
+            mat[v, u] = w
+        return mat
+
+    def to_networkx(self) -> nx.Graph:
+        """Export as a :class:`networkx.Graph` with ``weight`` edge attributes."""
+        g = nx.Graph()
+        g.add_nodes_from(range(self._n))
+        g.add_weighted_edges_from(self.edges())
+        return g
+
+    @classmethod
+    def from_networkx(cls, g: nx.Graph, weight: str = "weight") -> "Topology":
+        """Build a topology from a networkx graph.
+
+        Node labels must be hashable; they are relabelled to ``0..n-1`` in
+        sorted order of their string representation if not already integers.
+        """
+        nodes = list(g.nodes())
+        if all(isinstance(u, (int, np.integer)) for u in nodes) and set(nodes) == set(
+            range(len(nodes))
+        ):
+            index = {u: int(u) for u in nodes}
+        else:
+            index = {u: i for i, u in enumerate(sorted(nodes, key=str))}
+        topo = cls(len(nodes))
+        for u, v, data in g.edges(data=True):
+            topo.add_link(index[u], index[v], float(data.get(weight, 1.0)))
+        return topo
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Topology(n={self._n}, links={self.num_links})"

@@ -1,0 +1,35 @@
+"""NP-completeness artifacts: 0/1 Knapsack and the Knapsack→RTSP reduction.
+
+Paper §3.4 proves RTSP-decision NP-complete by reducing 0/1
+Knapsack-decision to it. This subpackage makes the proof executable:
+
+* :mod:`repro.npc.knapsack` — an exact dynamic-programming solver for
+  0/1 Knapsack,
+* :mod:`repro.npc.reduction` — builds the paper's RTSP instance from a
+  Knapsack instance, produces the canonical optimal-form schedule for a
+  chosen subset, and decodes a schedule back into a Knapsack solution.
+
+The test suite round-trips random Knapsack instances through the
+reduction and the exact RTSP solver and checks the decoded subset attains
+the DP optimum.
+"""
+
+from repro.npc.knapsack import KnapsackInstance, KnapsackSolution, solve_knapsack
+from repro.npc.reduction import (
+    KnapsackReduction,
+    reduce_knapsack_to_rtsp,
+    canonical_schedule,
+    decode_schedule,
+    decision_threshold,
+)
+
+__all__ = [
+    "KnapsackInstance",
+    "KnapsackSolution",
+    "solve_knapsack",
+    "KnapsackReduction",
+    "reduce_knapsack_to_rtsp",
+    "canonical_schedule",
+    "decode_schedule",
+    "decision_threshold",
+]

@@ -1,0 +1,78 @@
+"""Exact 0/1 Knapsack solver (dynamic programming over capacity).
+
+Definitions follow the paper's §3.4 statement [15]: ``n`` objects with
+positive integer benefits ``b_i`` and sizes ``s_i``; find a subset ``W``
+with ``sum(s_i) <= S`` maximising ``sum(b_i)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class KnapsackInstance:
+    """A 0/1 Knapsack instance with positive integer data."""
+
+    benefits: Tuple[int, ...]
+    sizes: Tuple[int, ...]
+    capacity: int
+
+    def __post_init__(self) -> None:
+        if len(self.benefits) != len(self.sizes):
+            raise ConfigurationError("benefits and sizes must align")
+        if any(b <= 0 for b in self.benefits) or any(s <= 0 for s in self.sizes):
+            raise ConfigurationError("benefits and sizes must be positive integers")
+        if self.capacity < 0:
+            raise ConfigurationError("capacity must be non-negative")
+
+    @property
+    def num_objects(self) -> int:
+        return len(self.benefits)
+
+    @classmethod
+    def create(cls, benefits: Sequence[int], sizes: Sequence[int], capacity: int):
+        """Validating constructor from any sequences."""
+        return cls(
+            tuple(int(b) for b in benefits),
+            tuple(int(s) for s in sizes),
+            int(capacity),
+        )
+
+
+@dataclass(frozen=True)
+class KnapsackSolution:
+    """Optimal subset and its value/weight."""
+
+    chosen: Tuple[int, ...]
+    value: int
+    weight: int
+
+
+def solve_knapsack(instance: KnapsackInstance) -> KnapsackSolution:
+    """Classic O(n * S) DP with backtracking for the chosen subset."""
+    n, cap = instance.num_objects, instance.capacity
+    # table[i][w] = best value using objects < i within weight w
+    table = np.zeros((n + 1, cap + 1), dtype=np.int64)
+    for i in range(1, n + 1):
+        b, s = instance.benefits[i - 1], instance.sizes[i - 1]
+        row, prev = table[i], table[i - 1]
+        row[:] = prev
+        if s <= cap:
+            np.maximum(row[s:], prev[: cap - s + 1] + b, out=row[s:])
+    value = int(table[n, cap])
+
+    chosen: List[int] = []
+    w = cap
+    for i in range(n, 0, -1):
+        if table[i, w] != table[i - 1, w]:
+            chosen.append(i - 1)
+            w -= instance.sizes[i - 1]
+    chosen.reverse()
+    weight = sum(instance.sizes[i] for i in chosen)
+    return KnapsackSolution(tuple(chosen), value, weight)

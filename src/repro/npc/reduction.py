@@ -1,0 +1,195 @@
+"""The Knapsack → RTSP reduction of paper §3.4, executable.
+
+Given a 0/1 Knapsack instance with ``n`` objects, the reduction builds an
+RTSP instance with ``M = n + 3`` servers and ``N = n + 1`` objects:
+
+* objects ``0..n-1`` are the Knapsack objects (size ``s_i``); object ``n``
+  is the "big" object of size ``sum(s_i)``;
+* server ``i < n`` holds (only) object ``i`` in both schemes, with
+  capacity ``s_i``;
+* server ``n`` (the paper's ``S_{n+1}``, capacity ``S + sum(s_i)``) holds
+  the big object in ``X_old`` and all Knapsack objects in ``X_new``;
+* server ``n+1`` (``S_{n+2}``, capacity ``sum(s_i)``) holds all Knapsack
+  objects in ``X_old`` and the big object in ``X_new``;
+* server ``n+2`` (``S_{n+3}``) holds the big object in both schemes;
+* link costs: ``l(S_{n+1}, S_{n+2}) = 1``,
+  ``l(S_i, S_{n+1}) = b'_i = b_i * P / s_i`` with ``P = prod(s_i)``, and
+  ``l(S_{n+3}, S_{n+2}) = sum(b'_i + 1)``; other pairs route via shortest
+  paths.
+
+An optimal RTSP schedule then has the canonical form: move a subset ``W``
+of Knapsack objects from ``S_{n+2}`` into ``S_{n+1}``'s spare space (cost
+``s_i`` each), swap the big object across (cost ``sum(s_i)``), and fetch
+the remaining Knapsack objects expensively from their home servers (cost
+``b_i * P`` each) — so minimising cost maximises ``sum_{i in W} b_i``
+subject to ``sum_{i in W} s_i <= S``: exactly Knapsack.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.model.actions import Delete, Transfer
+from repro.model.instance import RtspInstance
+from repro.model.schedule import Schedule
+from repro.npc.knapsack import KnapsackInstance
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class KnapsackReduction:
+    """The reduction output: the RTSP instance plus decoding metadata."""
+
+    knapsack: KnapsackInstance
+    rtsp: RtspInstance
+    size_product: int  # the paper's P = prod(s_i)
+
+    @property
+    def hub(self) -> int:
+        """Index of the paper's ``S_{n+1}`` (receives the Knapsack objects)."""
+        return self.knapsack.num_objects
+
+    @property
+    def warehouse(self) -> int:
+        """Index of ``S_{n+2}`` (initially holds all Knapsack objects)."""
+        return self.knapsack.num_objects + 1
+
+    @property
+    def archive(self) -> int:
+        """Index of ``S_{n+3}`` (remote holder of the big object)."""
+        return self.knapsack.num_objects + 2
+
+    @property
+    def big_object(self) -> int:
+        """Index of the big object ``O_{n+1}``."""
+        return self.knapsack.num_objects
+
+
+def reduce_knapsack_to_rtsp(knapsack: KnapsackInstance) -> KnapsackReduction:
+    """Build the paper's RTSP instance for ``knapsack``."""
+    n = knapsack.num_objects
+    if n < 1:
+        raise ConfigurationError("knapsack must have at least one object")
+    sizes_k = list(knapsack.sizes)
+    total = sum(sizes_k)
+    product = math.prod(sizes_k)
+    b_prime = [knapsack.benefits[i] * product // sizes_k[i] for i in range(n)]
+
+    m = n + 3
+    num_objects = n + 1
+    sizes = np.array(sizes_k + [total], dtype=np.float64)
+    capacities = np.array(
+        sizes_k + [knapsack.capacity + total, total, total], dtype=np.float64
+    )
+
+    hub, warehouse, archive = n, n + 1, n + 2
+    # Direct links per the paper; remaining pairs use shortest paths.
+    direct = np.full((m, m), np.inf)
+    np.fill_diagonal(direct, 0.0)
+    direct[hub, warehouse] = direct[warehouse, hub] = 1.0
+    for i in range(n):
+        direct[i, hub] = direct[hub, i] = float(b_prime[i])
+    far = float(sum(bp + 1 for bp in b_prime))
+    direct[archive, warehouse] = direct[warehouse, archive] = far
+
+    # Floyd-Warshall closure over the sparse link set.
+    costs = direct.copy()
+    for k in range(m):
+        np.minimum(costs, costs[:, k, None] + costs[None, k, :], out=costs)
+
+    x_old = np.zeros((m, num_objects), dtype=np.int8)
+    x_new = np.zeros((m, num_objects), dtype=np.int8)
+    big = n
+    for i in range(n):
+        x_old[i, i] = 1
+        x_new[i, i] = 1
+    x_old[hub, big] = 1
+    x_old[warehouse, :n] = 1
+    x_old[archive, big] = 1
+    x_new[hub, :n] = 1
+    x_new[warehouse, big] = 1
+    x_new[archive, big] = 1
+
+    rtsp = RtspInstance.create(sizes, capacities, costs, x_old, x_new)
+    return KnapsackReduction(knapsack=knapsack, rtsp=rtsp, size_product=product)
+
+
+def canonical_schedule(
+    reduction: KnapsackReduction, subset: Sequence[int]
+) -> Schedule:
+    """The H-OPT-form schedule for Knapsack subset ``subset``.
+
+    Moves ``subset`` cheaply from the warehouse into the hub's spare
+    space, swaps the big object across, then fetches the remaining
+    Knapsack objects from their home servers. Raises when ``subset``
+    violates the Knapsack capacity (the hub would not have the room).
+    """
+    knap = reduction.knapsack
+    chosen: Set[int] = set(int(i) for i in subset)
+    if any(i < 0 or i >= knap.num_objects for i in chosen):
+        raise ConfigurationError("subset indices out of range")
+    if sum(knap.sizes[i] for i in chosen) > knap.capacity:
+        raise ConfigurationError("subset exceeds the knapsack capacity")
+
+    hub, warehouse, big = reduction.hub, reduction.warehouse, reduction.big_object
+    actions: List = []
+    for i in sorted(chosen):
+        actions.append(Transfer(hub, i, warehouse))
+    for i in range(knap.num_objects):
+        actions.append(Delete(warehouse, i))
+    actions.append(Transfer(warehouse, big, hub))
+    actions.append(Delete(hub, big))
+    for i in range(knap.num_objects):
+        if i not in chosen:
+            actions.append(Transfer(hub, i, i))
+    return Schedule(actions)
+
+
+def canonical_cost(reduction: KnapsackReduction, subset: Sequence[int]) -> float:
+    """Closed-form cost of :func:`canonical_schedule` for ``subset``."""
+    knap = reduction.knapsack
+    chosen = set(int(i) for i in subset)
+    total = sum(knap.sizes)
+    cheap = sum(knap.sizes[i] for i in chosen)
+    expensive = reduction.size_product * sum(
+        knap.benefits[i] for i in range(knap.num_objects) if i not in chosen
+    )
+    return float(cheap + total + expensive)
+
+
+def decode_schedule(
+    reduction: KnapsackReduction, schedule: Schedule
+) -> Tuple[Set[int], int]:
+    """Extract the Knapsack subset encoded by an RTSP schedule.
+
+    The subset is the set of Knapsack objects that reached the hub via a
+    *cheap* source (the warehouse) rather than their expensive home
+    server; returns ``(subset, total_benefit)``.
+    """
+    knap = reduction.knapsack
+    hub, warehouse = reduction.hub, reduction.warehouse
+    subset: Set[int] = set()
+    for action in schedule:
+        if (
+            isinstance(action, Transfer)
+            and action.target == hub
+            and action.obj < knap.num_objects
+            and action.source == warehouse
+        ):
+            subset.add(action.obj)
+    value = sum(knap.benefits[i] for i in subset)
+    return subset, value
+
+
+def decision_threshold(knapsack: KnapsackInstance, k: int) -> float:
+    """The paper's decision bound: a valid schedule of cost at most
+    ``sum(s_i) + (sum(b_i) - K) * P + S`` exists iff a Knapsack subset of
+    value at least ``K`` does."""
+    total_size = sum(knapsack.sizes)
+    total_benefit = sum(knapsack.benefits)
+    product = math.prod(knapsack.sizes)
+    return float(total_size + (total_benefit - k) * product + knapsack.capacity)

@@ -1,0 +1,18 @@
+"""Replica placement substrate.
+
+RTSP consumes the *output* of a replica placement algorithm (§1: "the
+latter being presumably the output of a replica placement algorithm").
+This subpackage provides that upstream producer so examples and the video
+scenario can exercise realistic placement churn:
+
+* :mod:`repro.placement.greedy` — classic greedy benefit placement
+  (Qiu-style): repeatedly add the replica with the highest access-cost
+  reduction per unit of storage until capacity or benefit runs out,
+* :mod:`repro.placement.local_search` — swap-based refinement of an
+  existing placement.
+"""
+
+from repro.placement.greedy import greedy_placement, access_cost
+from repro.placement.local_search import local_search_placement
+
+__all__ = ["greedy_placement", "access_cost", "local_search_placement"]

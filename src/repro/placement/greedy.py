@@ -1,0 +1,136 @@
+"""Greedy benefit replica placement.
+
+The classic greedy algorithm used across the replica-placement literature
+(cf. Qiu et al., INFOCOM'01; surveys [10], [18] of the paper): starting
+from one mandatory replica per object, repeatedly place the replica with
+the largest access-cost reduction per unit of storage until no placement
+has positive benefit or capacities are exhausted.
+
+Demand is expressed as a ``num_clients x num_objects`` request-count
+matrix where client ``c`` is attached to server ``c`` (the common
+server-as-point-of-presence model).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+from repro.util.validation import check_nonnegative, check_positive
+
+
+def access_cost(
+    x: np.ndarray, costs: np.ndarray, sizes: np.ndarray, demand: np.ndarray
+) -> float:
+    """Total client access cost of placement ``x``.
+
+    ``sum_{c,k} demand[c,k] * sizes[k] * min_{j: X[j,k]=1} costs[c,j]``.
+    Objects with no replica contribute infinity.
+    """
+    m, n = x.shape
+    total = 0.0
+    for k in range(n):
+        replicators = np.flatnonzero(x[:, k])
+        if replicators.size == 0:
+            return float("inf")
+        per_client = costs[:m, replicators].min(axis=1)
+        total += float(sizes[k]) * float(demand[:, k] @ per_client)
+    return total
+
+
+def greedy_placement(
+    costs: np.ndarray,
+    sizes: np.ndarray,
+    capacities: np.ndarray,
+    demand: np.ndarray,
+    min_replicas: int = 1,
+    max_replicas: Optional[int] = None,
+    rng=None,
+) -> np.ndarray:
+    """Greedy benefit placement.
+
+    Parameters
+    ----------
+    costs:
+        Plain ``M x M`` server cost matrix (no dummy row).
+    sizes, capacities:
+        Object sizes and server capacities.
+    demand:
+        ``M x N`` request counts (client ``c`` attached to server ``c``).
+    min_replicas:
+        Mandatory replicas per object (placed first, by highest demand,
+        on the least-loaded eligible server).
+    max_replicas:
+        Optional cap on replicas per object.
+
+    Returns the ``M x N`` placement matrix.
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    sizes = check_positive(sizes, "sizes")
+    capacities = check_nonnegative(capacities, "capacities").copy()
+    demand = check_nonnegative(demand, "demand")
+    m = costs.shape[0]
+    n = sizes.shape[0]
+    if demand.shape != (m, n):
+        raise ConfigurationError(f"demand must be {m}x{n}, got {demand.shape}")
+    cap = max_replicas if max_replicas is not None else m
+    if not 1 <= min_replicas <= cap <= m:
+        raise ConfigurationError("need 1 <= min_replicas <= max_replicas <= M")
+
+    x = np.zeros((m, n), dtype=np.int8)
+    free = capacities.astype(np.float64)
+
+    # Mandatory replicas: most-demanded objects first so the contended
+    # storage goes to the objects that matter.
+    order = np.argsort(-demand.sum(axis=0), kind="stable")
+    for k in order:
+        for _ in range(min_replicas):
+            # Weight candidate servers by local demand, break ties by space.
+            eligible = np.flatnonzero((x[:, k] == 0) & (free >= sizes[k]))
+            if eligible.size == 0:
+                raise ConfigurationError(
+                    f"not enough capacity to place {min_replicas} replica(s) "
+                    f"of every object (stuck at object {k})"
+                )
+            score = demand[eligible, k] + free[eligible] / (free.max() + 1.0)
+            i = int(eligible[int(np.argmax(score))])
+            x[i, k] = 1
+            free[i] -= sizes[k]
+
+    # Nearest-replicator cost per client per object, maintained
+    # incrementally as replicas are added.
+    best = np.empty((m, n), dtype=np.float64)
+    for k in range(n):
+        replicators = np.flatnonzero(x[:, k])
+        best[:, k] = costs[:, replicators].min(axis=1)
+
+    while True:
+        # gain[i,k] = demand-weighted reduction of nearest costs if (i,k)
+        # is added. Vectorised over clients.
+        best_gain = 0.0
+        best_pair = None
+        counts = x.sum(axis=0)
+        for k in range(n):
+            if counts[k] >= cap:
+                continue
+            size_k = float(sizes[k])
+            candidates = np.flatnonzero((x[:, k] == 0) & (free >= size_k))
+            if candidates.size == 0:
+                continue
+            # improvement for client c if replica at i: max(0, best[c,k]-costs[c,i])
+            imp = np.maximum(0.0, best[:, k][None, :].T - costs[:, candidates])
+            gains = size_k * (demand[:, k] @ imp)  # per candidate
+            idx = int(np.argmax(gains))
+            gain = float(gains[idx]) / size_k  # benefit per storage unit
+            if gain > best_gain + 1e-12:
+                best_gain = gain
+                best_pair = (int(candidates[idx]), int(k))
+        if best_pair is None:
+            break
+        i, k = best_pair
+        x[i, k] = 1
+        free[i] -= sizes[k]
+        best[:, k] = np.minimum(best[:, k], costs[:, i])
+    return x

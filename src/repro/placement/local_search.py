@@ -1,0 +1,73 @@
+"""Swap-based local search over replica placements.
+
+Refines a feasible placement by hill-climbing over two move types:
+
+* **relocate** — move a replica of object ``k`` from server ``i`` to
+  server ``i'`` (capacity permitting),
+* **drop/add** — delete a replica with negligible marginal value and use
+  the space for a replica of a different object with higher value.
+
+Each accepted move strictly decreases total access cost, so the search
+terminates; ``max_moves`` bounds the run regardless.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.placement.greedy import access_cost
+from repro.util.errors import ConfigurationError
+from repro.util.rng import ensure_rng
+
+
+def local_search_placement(
+    x: np.ndarray,
+    costs: np.ndarray,
+    sizes: np.ndarray,
+    capacities: np.ndarray,
+    demand: np.ndarray,
+    max_moves: int = 1000,
+    rng=None,
+) -> np.ndarray:
+    """Hill-climb from placement ``x``; returns an improved copy."""
+    x = np.array(x, dtype=np.int8, copy=True)
+    costs = np.asarray(costs, dtype=np.float64)
+    sizes = np.asarray(sizes, dtype=np.float64)
+    capacities = np.asarray(capacities, dtype=np.float64)
+    m, n = x.shape
+    gen = ensure_rng(rng)
+    free = capacities - x.astype(np.float64) @ sizes
+    if free.min(initial=0.0) < -1e-9:
+        raise ConfigurationError("starting placement violates capacities")
+
+    current = access_cost(x, costs, sizes, demand)
+    for _ in range(max_moves):
+        improved = False
+        # Relocate moves, sampled in random order for diversity.
+        replicas = np.argwhere(x == 1)
+        gen.shuffle(replicas)
+        for i, k in replicas:
+            if x[:, k].sum() == 0:
+                continue
+            for i2 in np.argsort(costs[:, i]):
+                i2 = int(i2)
+                if i2 == i or x[i2, k] or free[i2] < sizes[k]:
+                    continue
+                x[i, k] = 0
+                x[i2, k] = 1
+                cand = access_cost(x, costs, sizes, demand)
+                if cand < current - 1e-9:
+                    free[i] += sizes[k]
+                    free[i2] -= sizes[k]
+                    current = cand
+                    improved = True
+                    break
+                x[i, k] = 1
+                x[i2, k] = 0
+            if improved:
+                break
+        if not improved:
+            break
+    return x

@@ -1,0 +1,42 @@
+"""Transfer timing: makespan analysis of RTSP schedules (extension).
+
+The paper minimises *communication cost* and explicitly defers timing:
+"as part of our future work we plan to study RTSP when X_new must be
+reached within a time deadline" (§2.2). This subpackage builds that
+study's substrate:
+
+* :mod:`repro.timing.bandwidth` — link bandwidth models,
+* :mod:`repro.timing.dag` — a conservative dependency DAG extracted from
+  a sequential schedule (any topological execution order is valid),
+* :mod:`repro.timing.executor` — a discrete-event simulator executing a
+  schedule with per-server transfer-slot constraints, reporting makespan
+  and per-action start/finish times,
+* :mod:`repro.timing.deadline` — deadline checks and per-pipeline
+  makespan comparison helpers.
+
+Everything here is an *extension* beyond the paper's evaluation and is
+benchmarked separately (``benchmarks/test_makespan.py``).
+"""
+
+from repro.timing.bandwidth import bandwidths_from_costs, uniform_bandwidths
+from repro.timing.dag import build_dependency_dag, critical_path_length
+from repro.timing.executor import (
+    ExecutionResult,
+    TimedAction,
+    sequential_makespan,
+    simulate_parallel,
+)
+from repro.timing.deadline import meets_deadline, makespan_by_pipeline
+
+__all__ = [
+    "bandwidths_from_costs",
+    "uniform_bandwidths",
+    "build_dependency_dag",
+    "critical_path_length",
+    "ExecutionResult",
+    "TimedAction",
+    "sequential_makespan",
+    "simulate_parallel",
+    "meets_deadline",
+    "makespan_by_pipeline",
+]

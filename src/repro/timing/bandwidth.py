@@ -1,0 +1,64 @@
+"""Link bandwidth models.
+
+A bandwidth matrix ``B`` gives data units per time unit between each
+server pair (and the dummy server, which models a slow archival tier).
+Transfer duration is ``s(O_k) / B[target, source]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+
+def uniform_bandwidths(num_servers: int, rate: float = 1.0,
+                       dummy_rate: float = None) -> np.ndarray:
+    """Same bandwidth on every pair; the dummy tier defaults to rate/10.
+
+    Returns an extended ``(M+1) x (M+1)`` matrix (dummy last, matching the
+    instance's extended cost matrix).
+    """
+    if num_servers < 1:
+        raise ConfigurationError("need at least one server")
+    if rate <= 0:
+        raise ConfigurationError("rate must be positive")
+    dummy = rate / 10.0 if dummy_rate is None else float(dummy_rate)
+    if dummy <= 0:
+        raise ConfigurationError("dummy_rate must be positive")
+    out = np.full((num_servers + 1, num_servers + 1), float(rate))
+    out[num_servers, :] = dummy
+    out[:, num_servers] = dummy
+    np.fill_diagonal(out, np.inf)
+    return out
+
+
+def bandwidths_from_costs(costs: np.ndarray, scale: float = 1.0) -> np.ndarray:
+    """Bandwidth inversely proportional to communication cost.
+
+    ``B[i, j] = scale / l[i, j]`` — the natural reading of the paper's
+    cost metric as per-unit transfer *effort*: expensive paths are slow
+    paths. Accepts the instance's extended cost matrix (dummy included);
+    the diagonal gets infinite bandwidth (no self transfers anyway).
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    if costs.ndim != 2 or costs.shape[0] != costs.shape[1]:
+        raise ConfigurationError("cost matrix must be square")
+    if scale <= 0:
+        raise ConfigurationError("scale must be positive")
+    with np.errstate(divide="ignore"):
+        out = scale / costs
+    np.fill_diagonal(out, np.inf)
+    return out
+
+
+def transfer_duration(
+    bandwidths: np.ndarray, size: float, target: int, source: int
+) -> float:
+    """Duration of moving ``size`` units from ``source`` to ``target``."""
+    rate = float(bandwidths[target, source])
+    if rate <= 0:
+        raise ConfigurationError(f"non-positive bandwidth on ({target},{source})")
+    if np.isinf(rate):
+        return 0.0
+    return float(size) / rate

@@ -1,0 +1,95 @@
+"""Dependency DAGs over sequential schedules.
+
+A valid sequential schedule implies a partial order: many actions can run
+concurrently without violating any precondition. :func:`build_dependency_dag`
+extracts a *conservative* DAG — every topological execution order of it is
+a valid sequential schedule — with these edges (positions ``p < q``):
+
+* **source availability** — a transfer depends on the earlier transfer
+  that created its source replica (if the source did not hold the object
+  from the start);
+* **source liveness** — a deletion ``D(j,k)`` depends on every earlier
+  transfer sourced from ``(j,k)`` (the replica must outlive its reads)
+  and on the transfer that created ``(j,k)`` if any;
+* **space accounting** — a transfer into server ``i`` depends on every
+  earlier deletion at ``i`` and every earlier transfer into ``i`` (the
+  sequential prefix's space budget at ``i`` is what made it valid);
+* **replay-order ties** — a deletion of ``(i,k)`` depends on earlier
+  transfers into ``(i,k)`` and a transfer into ``(i,k)`` depends on
+  earlier deletions of ``(i,k)`` (create/delete alternation per cell).
+
+Space edges are conservative (they serialise same-target transfers'
+*admission*, not their network time), which is exactly the property that
+makes every linearisation valid without re-checking capacities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+
+from repro.model.actions import Action, Delete, Transfer
+from repro.model.instance import RtspInstance
+
+
+def build_dependency_dag(
+    actions: Sequence[Action], instance: RtspInstance
+) -> nx.DiGraph:
+    """Build the conservative dependency DAG (nodes are positions)."""
+    g = nx.DiGraph()
+    g.add_nodes_from(range(len(actions)))
+
+    last_creation: Dict[Tuple[int, int], int] = {}  # (server, obj) -> pos
+    last_deletion: Dict[Tuple[int, int], int] = {}
+    readers: Dict[Tuple[int, int], List[int]] = {}  # transfers reading a cell
+    server_space_events: Dict[int, List[int]] = {}  # deletions/arrivals per server
+
+    for pos, action in enumerate(actions):
+        if isinstance(action, Transfer):
+            i, k, j = action.target, action.obj, action.source
+            # source availability: created earlier, or held from X_old
+            if j != instance.dummy:
+                created = last_creation.get((j, k))
+                if created is not None:
+                    g.add_edge(created, pos)
+                readers.setdefault((j, k), []).append(pos)
+            # space accounting at the target
+            for prior in server_space_events.get(i, ()):
+                g.add_edge(prior, pos)
+            # create/delete alternation on the target cell
+            deleted = last_deletion.get((i, k))
+            if deleted is not None:
+                g.add_edge(deleted, pos)
+            last_creation[(i, k)] = pos
+            server_space_events.setdefault(i, []).append(pos)
+        elif isinstance(action, Delete):
+            i, k = action.server, action.obj
+            created = last_creation.get((i, k))
+            if created is not None:
+                g.add_edge(created, pos)
+            for reader in readers.get((i, k), ()):
+                g.add_edge(reader, pos)
+            readers[(i, k)] = []
+            last_deletion[(i, k)] = pos
+            server_space_events.setdefault(i, []).append(pos)
+    return g
+
+
+def critical_path_length(
+    dag: nx.DiGraph, durations: Sequence[float]
+) -> float:
+    """Longest duration-weighted path through the DAG.
+
+    A lower bound on any execution's makespan, regardless of how many
+    transfers can run concurrently.
+    """
+    longest = {node: 0.0 for node in dag.nodes}
+    for node in nx.topological_sort(dag):
+        finish = longest[node] + float(durations[node])
+        for succ in dag.successors(node):
+            if finish > longest[succ]:
+                longest[succ] = finish
+    if not longest:
+        return 0.0
+    return max(longest[node] + float(durations[node]) for node in dag.nodes)

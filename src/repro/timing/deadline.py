@@ -1,0 +1,60 @@
+"""Deadline analysis over RTSP schedules (extension).
+
+Answers the question the paper poses as future work: *can this
+transition be implemented within a time budget?* — and compares how the
+cost-minimising pipelines fare on makespan.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.core.pipeline import build_pipeline
+from repro.model.instance import RtspInstance
+from repro.model.schedule import Schedule
+from repro.timing.bandwidth import bandwidths_from_costs
+from repro.timing.executor import ExecutionResult, simulate_parallel
+
+
+def meets_deadline(
+    schedule: Schedule,
+    instance: RtspInstance,
+    deadline: float,
+    bandwidths: Optional[np.ndarray] = None,
+    out_slots: int = 1,
+    in_slots: int = 1,
+) -> bool:
+    """Whether the schedule's simulated makespan fits within ``deadline``."""
+    if bandwidths is None:
+        bandwidths = bandwidths_from_costs(instance.costs)
+    result = simulate_parallel(
+        schedule, instance, bandwidths, out_slots=out_slots, in_slots=in_slots
+    )
+    return result.makespan <= deadline + 1e-9
+
+
+def makespan_by_pipeline(
+    instance: RtspInstance,
+    pipelines: Iterable[str],
+    bandwidths: Optional[np.ndarray] = None,
+    rng=0,
+    out_slots: int = 1,
+    in_slots: int = 1,
+) -> Dict[str, ExecutionResult]:
+    """Simulate every pipeline's schedule; returns results keyed by spec.
+
+    Useful for studying the cost/makespan trade-off: cost-optimal
+    schedules chain transfers through fresh replicas (long dependency
+    paths), while naive schedules are flatter but costlier.
+    """
+    if bandwidths is None:
+        bandwidths = bandwidths_from_costs(instance.costs)
+    out: Dict[str, ExecutionResult] = {}
+    for spec in pipelines:
+        schedule = build_pipeline(spec).run(instance, rng=rng)
+        out[spec] = simulate_parallel(
+            schedule, instance, bandwidths, out_slots=out_slots, in_slots=in_slots
+        )
+    return out

@@ -1,0 +1,63 @@
+"""ASCII Gantt rendering of simulated executions.
+
+Terminal-friendly visualisation of an :class:`ExecutionResult`: one row
+per server, time on the x axis, each block a transfer into that server
+(labelled by object id). Deletions are instantaneous and omitted.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List
+
+from repro.model.actions import Transfer
+from repro.timing.executor import ExecutionResult
+
+
+def render_gantt(
+    result: ExecutionResult, num_servers: int, width: int = 72
+) -> str:
+    """Render the execution as an ASCII Gantt chart.
+
+    Parameters
+    ----------
+    num_servers:
+        Number of rows (server ids are 0..num_servers-1).
+    width:
+        Character width of the time axis.
+    """
+    makespan = result.makespan
+    out = io.StringIO()
+    if makespan <= 0:
+        out.write("(empty execution)\n")
+        return out.getvalue()
+
+    def col(t: float) -> int:
+        return min(width - 1, int(t / makespan * width))
+
+    rows: Dict[int, List[str]] = {
+        server: [" "] * width for server in range(num_servers)
+    }
+    for timed in result.trace:
+        action = timed.action
+        if not isinstance(action, Transfer) or timed.duration <= 0:
+            continue
+        lo, hi = col(timed.start), max(col(timed.start), col(timed.finish) - 1)
+        label = str(action.obj)
+        row = rows[action.target]
+        for x in range(lo, hi + 1):
+            row[x] = "#"
+        # overlay the object id at the block start where it fits
+        for offset, ch in enumerate(label):
+            if lo + offset <= hi:
+                row[lo + offset] = ch
+
+    out.write(
+        f"Gantt [makespan={makespan:g}, sequential={result.sequential_time:g}, "
+        f"speedup={result.speedup:.2f}x]\n"
+    )
+    for server in range(num_servers):
+        out.write(f"S{server:<3d}|{''.join(rows[server])}|\n")
+    out.write("    +" + "-" * width + "+\n")
+    out.write(f"    0{'time'.center(width - 8)}{makespan:>7g}\n")
+    return out.getvalue()

@@ -1,0 +1,18 @@
+"""Operational command-line tools over JSON instances and schedules.
+
+``python -m repro.tools <command>``:
+
+* ``schedule`` — read an instance, run a pipeline, write the schedule;
+* ``validate`` — replay a schedule against an instance and report
+  validity, cost and dummy transfers;
+* ``analyze`` — feasibility summary and cost bounds for an instance;
+* ``makespan`` — simulate a schedule's parallel execution time.
+
+These are the glue for using the library as a deployment tool: an
+external placement system emits ``rtsp-instance/1`` JSON, this CLI turns
+it into an executable ``rtsp-schedule/1`` plan.
+"""
+
+from repro.tools.cli import main
+
+__all__ = ["main"]

@@ -1,0 +1,135 @@
+"""CLI for scheduling, validating and analysing JSON instances/schedules."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.bounds import (
+    nearest_source_bound,
+    universal_lower_bound,
+    worst_case_upper_bound,
+)
+from repro.analysis.feasibility import analyze_feasibility
+from repro.analysis.metrics import schedule_stats
+from repro.core.pipeline import build_pipeline
+from repro.io import load_instance, load_schedule, save_schedule
+from repro.timing import bandwidths_from_costs, simulate_parallel
+from repro.util.errors import RtspError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for the tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools",
+        description="Schedule, validate and analyse RTSP JSON files.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("schedule", help="run a pipeline over an instance")
+    p.add_argument("--instance", required=True, help="rtsp-instance/1 JSON file")
+    p.add_argument(
+        "--pipeline",
+        default="GOLCF+H1+H2+OP1",
+        help="pipeline spec (default: the paper's winner)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="RNG seed")
+    p.add_argument("--out", required=True, help="output rtsp-schedule/1 file")
+
+    p = sub.add_parser("validate", help="replay a schedule against an instance")
+    p.add_argument("--instance", required=True)
+    p.add_argument("--schedule", required=True)
+
+    p = sub.add_parser("analyze", help="feasibility + cost bounds of an instance")
+    p.add_argument("--instance", required=True)
+
+    p = sub.add_parser("makespan", help="simulate parallel execution time")
+    p.add_argument("--instance", required=True)
+    p.add_argument("--schedule", required=True)
+    p.add_argument("--slots", type=int, default=1,
+                   help="concurrent in/out transfers per server")
+    return parser
+
+
+def _cmd_schedule(args) -> int:
+    instance = load_instance(args.instance)
+    pipeline = build_pipeline(args.pipeline)
+    schedule = pipeline.run(instance, rng=args.seed)
+    stats = schedule_stats(schedule, instance)
+    save_schedule(schedule, args.out)
+    print(
+        f"{pipeline.name}: {stats.num_actions} actions, "
+        f"cost={stats.cost:,.6g}, dummy transfers={stats.num_dummy_transfers}"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    instance = load_instance(args.instance)
+    schedule = load_schedule(args.schedule)
+    report = schedule.validate(instance)
+    if report.ok:
+        print(
+            f"VALID: cost={report.cost:,.6g}, "
+            f"dummy transfers={report.dummy_transfers}, "
+            f"actions={len(schedule)}"
+        )
+        return 0
+    where = "end state" if report.position is None else f"action {report.position}"
+    print(f"INVALID at {where}: {report.message}")
+    return 1
+
+
+def _cmd_analyze(args) -> int:
+    instance = load_instance(args.instance)
+    summary = analyze_feasibility(instance)
+    outstanding, superfluous = instance.diff_counts()
+    print(f"instance: {instance}")
+    print(f"outstanding replicas : {outstanding}")
+    print(f"superfluous replicas : {superfluous}")
+    print(f"storage feasible     : {summary.storage_feasible}")
+    print(f"dummy-free provable  : {summary.trivially_sequenceable}")
+    print(f"transfer-graph cycle : {summary.transfer_cycle}")
+    print(f"deadlock possible    : {summary.deadlock_possible}")
+    print(f"forced dummy objects : {sorted(summary.forced_dummy_objects)}")
+    print(f"cost lower bound     : {universal_lower_bound(instance):,.6g}")
+    print(f"nearest-source bound : {nearest_source_bound(instance):,.6g}")
+    print(f"worst-case bound     : {worst_case_upper_bound(instance):,.6g}")
+    return 0
+
+
+def _cmd_makespan(args) -> int:
+    instance = load_instance(args.instance)
+    schedule = load_schedule(args.schedule)
+    report = schedule.validate(instance)
+    if not report.ok:
+        print(f"INVALID schedule: {report.message}")
+        return 1
+    bandwidths = bandwidths_from_costs(instance.costs)
+    result = simulate_parallel(
+        schedule, instance, bandwidths,
+        out_slots=args.slots, in_slots=args.slots,
+    )
+    print(f"makespan       : {result.makespan:,.6g}")
+    print(f"sequential time: {result.sequential_time:,.6g}")
+    print(f"critical path  : {result.critical_path:,.6g}")
+    print(f"speedup        : {result.speedup:.2f}x")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "schedule": _cmd_schedule,
+        "validate": _cmd_validate,
+        "analyze": _cmd_analyze,
+        "makespan": _cmd_makespan,
+    }
+    try:
+        return handlers[args.command](args)
+    except (RtspError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

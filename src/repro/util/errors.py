@@ -1,0 +1,58 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised exceptions derive from :class:`RtspError` so callers can
+catch everything coming out of the scheduler with a single ``except``.
+"""
+
+from __future__ import annotations
+
+
+class RtspError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(RtspError):
+    """A generator, heuristic, or experiment received inconsistent options."""
+
+
+class InvalidActionError(RtspError):
+    """An action is invalid in the state it was applied to.
+
+    Examples: transferring from a non-replicator source, transferring to a
+    server that already holds the object, deleting a replica that does not
+    exist, or violating a storage-capacity constraint.
+    """
+
+    def __init__(self, message: str, action=None, position=None):
+        super().__init__(message)
+        #: The offending action (``Transfer`` or ``Delete``), when known.
+        self.action = action
+        #: Zero-based index of the action within its schedule, when known.
+        self.position = position
+
+
+class InvalidScheduleError(RtspError):
+    """A schedule failed validation against an ``(X_old, X_new)`` pair.
+
+    Raised either because some action in the sequence is invalid, or because
+    the replayed final replication matrix differs from ``X_new``.
+    """
+
+    def __init__(self, message: str, position=None):
+        super().__init__(message)
+        #: Index of the first invalid action, or ``None`` for end-state
+        #: mismatches.
+        self.position = position
+
+
+class CapacityError(RtspError):
+    """A placement or transfer would exceed a server's storage capacity."""
+
+
+class InfeasibleInstanceError(RtspError):
+    """The RTSP instance admits no valid schedule.
+
+    Without a dummy server this can happen through transfer-graph deadlocks
+    (paper Fig. 1); with a dummy server it only happens when ``X_new`` itself
+    violates storage constraints.
+    """

@@ -1,0 +1,58 @@
+"""Input-validation helpers shared across the library.
+
+Validation failures raise :class:`~repro.util.errors.ConfigurationError`
+with a message naming the offending argument, so errors surface at API
+boundaries rather than deep inside a heuristic.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+
+def check_binary_matrix(x: np.ndarray, name: str = "matrix") -> np.ndarray:
+    """Validate that ``x`` is a 2-D 0/1 array and return it as ``int8``."""
+    arr = np.asarray(x)
+    if arr.ndim != 2:
+        raise ConfigurationError(f"{name} must be 2-D, got shape {arr.shape}")
+    if arr.size and not np.isin(arr, (0, 1)).all():
+        raise ConfigurationError(f"{name} must contain only 0/1 entries")
+    return arr.astype(np.int8, copy=False)
+
+
+def check_nonnegative(values: Sequence[float], name: str = "values") -> np.ndarray:
+    """Validate that every entry of ``values`` is >= 0; return float array."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size and float(arr.min()) < 0:
+        raise ConfigurationError(f"{name} must be non-negative")
+    return arr
+
+
+def check_positive(values: Sequence[float], name: str = "values") -> np.ndarray:
+    """Validate that every entry of ``values`` is > 0; return float array."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size and float(arr.min()) <= 0:
+        raise ConfigurationError(f"{name} must be strictly positive")
+    return arr
+
+
+def check_probability(p: float, name: str = "p") -> float:
+    """Validate ``p`` lies in [0, 1]."""
+    p = float(p)
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"{name} must lie in [0, 1], got {p}")
+    return p
+
+
+def check_symmetric(x: np.ndarray, name: str = "matrix", atol: float = 1e-9) -> np.ndarray:
+    """Validate that ``x`` is a square symmetric matrix; return float array."""
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ConfigurationError(f"{name} must be square, got shape {arr.shape}")
+    if arr.size and not np.allclose(arr, arr.T, atol=atol):
+        raise ConfigurationError(f"{name} must be symmetric")
+    return arr

@@ -1,0 +1,44 @@
+"""Workload generation: placements, sizes, capacities, scenario models.
+
+* :mod:`repro.workloads.regular` — the paper's experimental workload:
+  regular random placements (``r`` replicas per object, equal per-server
+  counts) and reshuffled ``X_new`` with controlled overlap,
+* :mod:`repro.workloads.sizes` — object-size distributions,
+* :mod:`repro.workloads.capacity` — capacity policies (exact fit, slack),
+* :mod:`repro.workloads.zipf` — Zipf popularity models,
+* :mod:`repro.workloads.video` — the motivating distributed video-server
+  scenario (daily popularity drift driving placement changes).
+"""
+
+from repro.workloads.regular import (
+    regular_random_placement,
+    regular_placement_pair,
+    paper_instance,
+)
+from repro.workloads.sizes import constant_sizes, uniform_sizes, zipf_sizes
+from repro.workloads.capacity import (
+    exact_fit_capacities,
+    max_load_capacities,
+    with_extra_object_slack,
+)
+from repro.workloads.zipf import zipf_weights, sample_requests
+from repro.workloads.video import VideoRotationModel, VideoCatalog
+from repro.workloads.maintenance import drain_placement, drain_instance
+
+__all__ = [
+    "regular_random_placement",
+    "regular_placement_pair",
+    "paper_instance",
+    "constant_sizes",
+    "uniform_sizes",
+    "zipf_sizes",
+    "exact_fit_capacities",
+    "max_load_capacities",
+    "with_extra_object_slack",
+    "zipf_weights",
+    "sample_requests",
+    "VideoRotationModel",
+    "VideoCatalog",
+    "drain_placement",
+    "drain_instance",
+]

@@ -1,0 +1,75 @@
+"""Server-capacity policies.
+
+The paper's experiments pin capacities to the minimum sufficient for both
+``X_old`` and ``X_new`` (zero slack — the deadlock-prone regime), then in
+experiment 3 hand out one extra object's worth of space to a growing
+number of random servers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.placement import loads
+from repro.util.errors import ConfigurationError
+from repro.util.rng import ensure_rng
+
+
+def exact_fit_capacities(x: np.ndarray, sizes: np.ndarray) -> np.ndarray:
+    """Capacity exactly equal to each server's load under ``x``."""
+    return loads(x, sizes)
+
+
+def max_load_capacities(
+    x_old: np.ndarray, x_new: np.ndarray, sizes: np.ndarray
+) -> np.ndarray:
+    """Minimum capacity sufficient for both schemes (paper §5.2).
+
+    Per server, the maximum of its ``X_old`` and ``X_new`` loads. With the
+    paper's equal per-server replica counts and equal sizes the two loads
+    coincide and this is a true zero-slack configuration.
+    """
+    return np.maximum(loads(x_old, sizes), loads(x_new, sizes))
+
+
+def with_extra_object_slack(
+    capacities: np.ndarray,
+    sizes: np.ndarray,
+    num_servers_with_slack: int,
+    rng=None,
+    slack: float = None,
+) -> np.ndarray:
+    """Give ``num_servers_with_slack`` random servers room for one more object.
+
+    ``slack`` defaults to the largest object size, guaranteeing the extra
+    space can host any single object (experiment 3 uses equal sizes, where
+    this is exactly "capacity to store one more object").
+    """
+    capacities = np.asarray(capacities, dtype=np.float64)
+    m = capacities.shape[0]
+    if not 0 <= num_servers_with_slack <= m:
+        raise ConfigurationError(
+            f"num_servers_with_slack must be in [0, {m}], "
+            f"got {num_servers_with_slack}"
+        )
+    gen = ensure_rng(rng)
+    out = capacities.copy()
+    if num_servers_with_slack == 0:
+        return out
+    amount = float(np.max(sizes)) if slack is None else float(slack)
+    chosen = gen.choice(m, size=num_servers_with_slack, replace=False)
+    out[chosen] += amount
+    return out
+
+
+def scaled_capacities(
+    x_old: np.ndarray, x_new: np.ndarray, sizes: np.ndarray, factor: float
+) -> np.ndarray:
+    """Minimal capacities uniformly scaled by ``factor >= 1``.
+
+    A smoother slack model than :func:`with_extra_object_slack`, used by
+    the extension benchmarks.
+    """
+    if factor < 1.0:
+        raise ConfigurationError("factor must be >= 1 to keep instances feasible")
+    return max_load_capacities(x_old, x_new, sizes) * float(factor)

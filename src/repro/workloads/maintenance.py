@@ -1,0 +1,103 @@
+"""Maintenance workloads: draining and decommissioning servers.
+
+A common production trigger for RTSP outside popularity drift: a server
+must be emptied (hardware replacement, scale-in). ``X_new`` relocates
+every replica held by the drained servers onto the remaining ones,
+least-loaded first, leaving the drained servers empty.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.model.instance import RtspInstance
+from repro.model.placement import loads
+from repro.util.errors import ConfigurationError
+from repro.util.rng import ensure_rng
+
+
+def drain_placement(
+    x_old: np.ndarray,
+    sizes: np.ndarray,
+    capacities: np.ndarray,
+    drained: Sequence[int],
+    rng=None,
+) -> np.ndarray:
+    """Relocate every replica off the ``drained`` servers.
+
+    Each displaced replica moves to the surviving server with the most
+    free space that does not already hold the object (ties broken
+    randomly). Raises when the survivors cannot absorb the load.
+    """
+    x_old = np.asarray(x_old, dtype=np.int8)
+    sizes = np.asarray(sizes, dtype=np.float64)
+    capacities = np.asarray(capacities, dtype=np.float64)
+    m = x_old.shape[0]
+    drained_set = {int(s) for s in drained}
+    if not drained_set:
+        return x_old.copy()
+    if any(not 0 <= s < m for s in drained_set):
+        raise ConfigurationError("drained server index out of range")
+    if len(drained_set) >= m:
+        raise ConfigurationError("cannot drain every server")
+    gen = ensure_rng(rng)
+
+    x_new = x_old.copy()
+    free = capacities - loads(x_new, sizes)
+    # Largest replicas first: classic first-fit-decreasing to avoid
+    # stranding big objects after small ones consumed the slack.
+    moves = [
+        (int(i), int(k))
+        for i in sorted(drained_set)
+        for k in np.flatnonzero(x_old[i])
+    ]
+    moves.sort(key=lambda ik: -float(sizes[ik[1]]))
+    for i, k in moves:
+        x_new[i, k] = 0
+        free[i] += sizes[k]
+        candidates = [
+            j
+            for j in range(m)
+            if j not in drained_set
+            and x_new[j, k] == 0
+            and free[j] >= sizes[k]
+        ]
+        if not candidates:
+            # the replica may simply be dropped if another copy survives
+            if x_new[:, k].sum() > 0:
+                continue
+            raise ConfigurationError(
+                f"survivors cannot absorb object {k} (size {sizes[k]:g})"
+            )
+        best_free = max(free[j] for j in candidates)
+        top = [j for j in candidates if free[j] == best_free]
+        j = int(top[int(gen.integers(0, len(top)))])
+        x_new[j, k] = 1
+        free[j] -= sizes[k]
+    return x_new
+
+
+def drain_instance(
+    instance: RtspInstance,
+    drained: Sequence[int],
+    rng=None,
+) -> RtspInstance:
+    """RTSP instance for draining ``drained`` servers of ``instance``.
+
+    ``X_old`` is the instance's *current* target (``x_new``) — the usual
+    situation where maintenance interrupts a stable placement — and the
+    new scheme is the drained relocation.
+    """
+    x_old = instance.x_new
+    x_new = drain_placement(
+        x_old, instance.sizes, instance.capacities, drained, rng=rng
+    )
+    return RtspInstance.create(
+        instance.sizes,
+        instance.capacities,
+        instance.costs,
+        x_old,
+        x_new,
+    )

@@ -1,0 +1,310 @@
+"""Regular random placements — the paper's experimental workload (§5.1).
+
+The experiments allocate each object to ``r`` servers uniformly at random
+such that every server stores the same number of objects; ``X_new`` is a
+reshuffle of ``X_old`` with a controlled replica overlap (0% in the
+paper). This module generates such placement pairs with exact row/column
+sums via greedy least-loaded assignment followed by 2-swap repair.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.model.instance import RtspInstance
+from repro.network.brite import brite_paper_topology
+from repro.network.costmatrix import cost_matrix_from_topology
+from repro.util.errors import ConfigurationError
+from repro.util.rng import ensure_rng
+from repro.util.validation import check_probability
+from repro.workloads.capacity import max_load_capacities
+from repro.workloads.sizes import constant_sizes, uniform_sizes
+
+
+def _row_targets(m: int, total: int, gen: np.random.Generator) -> np.ndarray:
+    """Distribute ``total`` replicas over ``m`` servers as evenly as possible."""
+    base = total // m
+    targets = np.full(m, base, dtype=np.int64)
+    extra = total - base * m
+    if extra:
+        targets[gen.choice(m, size=extra, replace=False)] += 1
+    return targets
+
+
+def _lift_targets_to_pins(
+    targets: np.ndarray, pinned_counts: np.ndarray
+) -> np.ndarray:
+    """Raise row targets to at least the pinned counts, preserving the total.
+
+    Pinned replicas cannot move, so a row's target must cover them; the
+    excess is stolen from the rows with the most headroom, keeping the
+    distribution as balanced as the pins allow.
+    """
+    targets = targets.copy()
+    for i in np.flatnonzero(pinned_counts > targets):
+        need = int(pinned_counts[i] - targets[i])
+        targets[i] = pinned_counts[i]
+        for _ in range(need):
+            headroom = targets - pinned_counts
+            j = int(np.argmax(headroom))
+            if headroom[j] <= 0:
+                raise ConfigurationError("pinned mask exceeds total capacity")
+            targets[j] -= 1
+    return targets
+
+
+def regular_random_placement(
+    num_servers: int,
+    num_objects: int,
+    replicas: int,
+    rng=None,
+    forbidden: Optional[np.ndarray] = None,
+    pinned: Optional[np.ndarray] = None,
+    max_repair_rounds: int = 100_000,
+    attempts: int = 16,
+) -> np.ndarray:
+    """Random 0/1 placement with ``replicas`` copies per object and
+    (near-)equal per-server counts.
+
+    Parameters
+    ----------
+    forbidden:
+        Optional 0/1 mask of cells that must stay 0 (used to enforce zero
+        overlap against an existing placement).
+    pinned:
+        Optional 0/1 mask of cells that must be 1 (used to enforce a given
+        overlap). Pinned cells count toward both row and column sums and
+        override ``forbidden``.
+    max_repair_rounds:
+        Safety bound on the 2-swap row-balancing loop.
+    attempts:
+        The greedy fill plus swap repair can wedge itself on very tight
+        pinned/forbidden combinations; the construction is retried with
+        fresh randomness up to this many times before giving up.
+    """
+    gen = ensure_rng(rng)
+    for _ in range(max(1, attempts)):
+        try:
+            return _attempt_regular_placement(
+                num_servers,
+                num_objects,
+                replicas,
+                gen,
+                forbidden,
+                pinned,
+                max_repair_rounds,
+            )
+        except _RepairStuck:
+            continue
+    # Exact row balance can be genuinely unattainable under tight
+    # pinned/forbidden combinations (e.g. tiny instances with partial
+    # overlap); fall back to the best-effort greedy fill, which keeps the
+    # rows as balanced as the constraints allow.
+    return _attempt_regular_placement(
+        num_servers,
+        num_objects,
+        replicas,
+        gen,
+        forbidden,
+        pinned,
+        max_repair_rounds,
+        strict_balance=False,
+    )
+
+
+class _RepairStuck(Exception):
+    """Internal: one construction attempt wedged; the caller retries."""
+
+
+def _attempt_regular_placement(
+    num_servers: int,
+    num_objects: int,
+    replicas: int,
+    gen: np.random.Generator,
+    forbidden: Optional[np.ndarray],
+    pinned: Optional[np.ndarray],
+    max_repair_rounds: int,
+    strict_balance: bool = True,
+) -> np.ndarray:
+    m, n, r = num_servers, num_objects, replicas
+    if r < 1 or r > m:
+        raise ConfigurationError(f"replicas must be in [1, {m}], got {r}")
+    forbidden_mask = (
+        np.zeros((m, n), dtype=bool) if forbidden is None else forbidden.astype(bool)
+    )
+    x = np.zeros((m, n), dtype=np.int8)
+    if pinned is not None:
+        x[pinned.astype(bool)] = 1
+        forbidden_mask = forbidden_mask & ~pinned.astype(bool)
+    if (x.sum(axis=0) > r).any():
+        raise ConfigurationError("pinned mask exceeds the per-object replica count")
+
+    row_targets = _row_targets(m, n * r, gen)
+    row_counts = x.sum(axis=1).astype(np.int64)
+    if pinned is not None:
+        row_targets = _lift_targets_to_pins(row_targets, row_counts)
+
+    # Greedy fill: each object picks its missing replicas on the least
+    # loaded (relative to target) eligible servers, random tie-break.
+    order = gen.permutation(n)
+    for k in order:
+        need = r - int(x[:, k].sum())
+        for _ in range(need):
+            eligible = np.flatnonzero((x[:, k] == 0) & ~forbidden_mask[:, k])
+            if eligible.size == 0:
+                raise ConfigurationError(
+                    f"no eligible server left for object {k}; "
+                    "forbidden mask too restrictive"
+                )
+            deficits = row_targets[eligible] - row_counts[eligible]
+            best = eligible[deficits == deficits.max()]
+            i = int(best[gen.integers(0, best.size)])
+            x[i, k] = 1
+            row_counts[i] += 1
+
+    if not strict_balance:
+        return x
+
+    # 2-swap repair: move replicas from overloaded to underloaded servers
+    # (column sums are preserved; pinned replicas never move).
+    pinned_mask = pinned.astype(bool) if pinned is not None else None
+    for _ in range(max_repair_rounds):
+        over = np.flatnonzero(row_counts > row_targets)
+        if over.size == 0:
+            break
+        i = int(over[gen.integers(0, over.size)])
+        under = np.flatnonzero(row_counts < row_targets)
+        candidates = np.flatnonzero(x[i] == 1)
+        if pinned_mask is not None:
+            candidates = candidates[~pinned_mask[i, candidates]]
+        gen.shuffle(candidates)
+        moved = False
+        for k in candidates:
+            dests = under[(x[under, k] == 0) & ~forbidden_mask[under, k]]
+            if dests.size:
+                i2 = int(dests[gen.integers(0, dests.size)])
+                x[i, k] = 0
+                x[i2, k] = 1
+                row_counts[i] -= 1
+                row_counts[i2] += 1
+                moved = True
+                break
+        if not moved:
+            # Direct move impossible; relocate via a 3-way rotation:
+            # i -> j (balanced server) for object k, j -> under for k'.
+            done = False
+            for k in candidates:
+                mids = np.flatnonzero(
+                    (x[:, k] == 0) & ~forbidden_mask[:, k] & (row_counts <= row_targets)
+                )
+                gen.shuffle(mids)
+                for j in mids:
+                    ks = np.flatnonzero(x[j] == 1)
+                    if pinned_mask is not None:
+                        ks = ks[~pinned_mask[j, ks]]
+                    gen.shuffle(ks)
+                    for k2 in ks:
+                        dests = under[(x[under, k2] == 0) & ~forbidden_mask[under, k2]]
+                        if dests.size:
+                            i2 = int(dests[gen.integers(0, dests.size)])
+                            x[i, k] = 0
+                            x[j, k] = 1
+                            x[j, k2] = 0
+                            x[i2, k2] = 1
+                            row_counts[i] -= 1
+                            row_counts[i2] += 1
+                            done = True
+                            break
+                    if done:
+                        break
+                if done:
+                    break
+            if not done:
+                raise _RepairStuck(
+                    "placement repair is stuck; constraints too tight"
+                )
+    else:
+        raise _RepairStuck("placement repair did not converge")
+    return x
+
+
+def regular_placement_pair(
+    num_servers: int,
+    num_objects: int,
+    replicas: int,
+    overlap: float = 0.0,
+    rng=None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Generate ``(X_old, X_new)`` with per-object replica count
+    ``replicas``, equal per-server counts, and the requested overlap.
+
+    ``overlap`` is the fraction of ``X_new``'s replicas that coincide with
+    ``X_old`` replicas (the paper uses 0.0: completely reshuffled).
+    """
+    overlap = check_probability(overlap, "overlap")
+    gen = ensure_rng(rng)
+    x_old = regular_random_placement(num_servers, num_objects, replicas, rng=gen)
+    pinned = None
+    if overlap > 0:
+        keep = int(round(overlap * num_objects * replicas))
+        coords = np.argwhere(x_old == 1)
+        chosen = coords[gen.choice(coords.shape[0], size=keep, replace=False)]
+        pinned = np.zeros_like(x_old)
+        pinned[chosen[:, 0], chosen[:, 1]] = 1
+    x_new = regular_random_placement(
+        num_servers,
+        num_objects,
+        replicas,
+        rng=gen,
+        forbidden=x_old,
+        pinned=pinned,
+    )
+    return x_old, x_new
+
+
+def paper_instance(
+    replicas: int,
+    num_servers: int = 50,
+    num_objects: int = 1000,
+    object_size: float = 5000.0,
+    uniform_size_range: Optional[Tuple[float, float]] = None,
+    overlap: float = 0.0,
+    extra_capacity_servers: int = 0,
+    dummy_constant: float = 1.0,
+    rng=None,
+) -> RtspInstance:
+    """One experiment cell of the paper's setup (§5.1).
+
+    BRITE-like 50-node BA tree with U{1..10} link costs, shortest-path
+    cost matrix, ``num_objects`` objects with ``replicas`` copies each,
+    reshuffled placements with the given overlap, and minimal capacities
+    (``max(load_old, load_new)`` per server). Experiment knobs:
+
+    * ``uniform_size_range=(1000, 5000)`` reproduces experiment 2,
+    * ``extra_capacity_servers=n`` gives ``n`` random servers room for one
+      extra (max-size) object, reproducing experiment 3.
+    """
+    gen = ensure_rng(rng)
+    topo = brite_paper_topology(n=num_servers, rng=gen)
+    costs = cost_matrix_from_topology(topo)
+    if uniform_size_range is None:
+        sizes = constant_sizes(num_objects, object_size)
+    else:
+        sizes = uniform_sizes(
+            num_objects, uniform_size_range[0], uniform_size_range[1], rng=gen
+        )
+    x_old, x_new = regular_placement_pair(
+        num_servers, num_objects, replicas, overlap=overlap, rng=gen
+    )
+    capacities = max_load_capacities(x_old, x_new, sizes)
+    if extra_capacity_servers:
+        from repro.workloads.capacity import with_extra_object_slack
+
+        capacities = with_extra_object_slack(
+            capacities, sizes, extra_capacity_servers, rng=gen
+        )
+    return RtspInstance.create(
+        sizes, capacities, costs, x_old, x_new, dummy_constant=dummy_constant
+    )

@@ -1,0 +1,54 @@
+"""Object-size distributions.
+
+The paper's experiment 1/3 use a constant size of 5000 data units;
+experiment 2 varies sizes uniformly in [1000, 5000]. A Zipf-like size
+distribution is provided for the video-server scenario (a few blockbusters
+dominating storage).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+from repro.util.rng import ensure_rng
+
+
+def constant_sizes(num_objects: int, value: float = 5000.0) -> np.ndarray:
+    """All objects share one size (paper experiments 1 and 3)."""
+    if value <= 0:
+        raise ConfigurationError("object size must be positive")
+    return np.full(num_objects, float(value), dtype=np.float64)
+
+
+def uniform_sizes(
+    num_objects: int, low: float = 1000.0, high: float = 5000.0, rng=None
+) -> np.ndarray:
+    """Sizes drawn uniformly from ``{low..high}`` (paper experiment 2).
+
+    Integer draws: the paper's data units are discrete and integer sizes
+    keep capacity arithmetic exact.
+    """
+    if not 0 < low <= high:
+        raise ConfigurationError("need 0 < low <= high")
+    gen = ensure_rng(rng)
+    return gen.integers(int(low), int(high) + 1, size=num_objects).astype(np.float64)
+
+
+def zipf_sizes(
+    num_objects: int,
+    base: float = 1000.0,
+    peak: float = 8000.0,
+    exponent: float = 0.8,
+    rng=None,
+) -> np.ndarray:
+    """Heavy-tailed sizes: rank-``j`` object gets ``base + span/j^exponent``.
+
+    Ranks are shuffled so size is independent of object id.
+    """
+    if not 0 < base <= peak:
+        raise ConfigurationError("need 0 < base <= peak")
+    gen = ensure_rng(rng)
+    ranks = gen.permutation(num_objects) + 1
+    span = peak - base
+    return base + span / np.power(ranks.astype(np.float64), exponent)

@@ -1,0 +1,161 @@
+"""The distributed video-server scenario (paper §2.1).
+
+The paper motivates RTSP with a distributed video server: popular movies
+are replicated across servers; popularity drifts daily (old hits fade, new
+releases arrive), so the placement is recomputed periodically and the
+system must *implement* the new placement — which is exactly RTSP.
+
+:class:`VideoRotationModel` simulates that loop: Zipf popularity over a
+movie catalog, daily drift plus new releases, greedy placement per day,
+and an :class:`~repro.model.instance.RtspInstance` for each day
+transition, ready to be scheduled by any pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.model.instance import RtspInstance
+from repro.network.costmatrix import cost_matrix_from_topology
+from repro.network.brite import brite_paper_topology
+from repro.placement.greedy import greedy_placement
+from repro.util.errors import ConfigurationError
+from repro.util.rng import ensure_rng
+from repro.workloads.zipf import drift_weights, sample_requests, zipf_weights
+
+
+@dataclass
+class VideoCatalog:
+    """A movie catalog with sizes and a popularity vector."""
+
+    sizes: np.ndarray
+    weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.sizes.shape != self.weights.shape:
+            raise ConfigurationError("sizes and weights must align")
+
+    @property
+    def num_movies(self) -> int:
+        return int(self.sizes.shape[0])
+
+    def release(self, movie: int, rng=None) -> None:
+        """A new release replaces ``movie``: it jumps to top popularity.
+
+        Popularity mass is taken proportionally from every other movie so
+        the vector stays normalised.
+        """
+        gen = ensure_rng(rng)
+        boost = float(self.weights.max()) * (1.0 + 0.2 * gen.random())
+        self.weights[movie] = boost
+        self.weights /= self.weights.sum()
+
+
+class VideoRotationModel:
+    """Day-by-day placement churn for a distributed video server.
+
+    Parameters
+    ----------
+    num_servers, num_movies:
+        System size. The network is the paper's BRITE-like BA tree.
+    movie_size:
+        Uniform movie size in data units.
+    capacity_movies:
+        Per-server capacity expressed in movies.
+    zipf_exponent:
+        Popularity skew.
+    drift, releases_per_day:
+        Daily popularity churn: fraction of ranks shuffled, and number of
+        catalog slots replaced by fresh releases.
+    requests_per_day:
+        Zipf samples drawn per day to form the demand matrix.
+    """
+
+    def __init__(
+        self,
+        num_servers: int = 20,
+        num_movies: int = 100,
+        movie_size: float = 5000.0,
+        capacity_movies: int = 10,
+        zipf_exponent: float = 0.9,
+        drift: float = 0.1,
+        releases_per_day: int = 2,
+        requests_per_day: int = 20_000,
+        dummy_constant: float = 1.0,
+        rng=None,
+    ) -> None:
+        if capacity_movies * num_servers < num_movies:
+            raise ConfigurationError(
+                "total capacity must hold at least one replica per movie"
+            )
+        self._gen = ensure_rng(rng)
+        self.num_servers = num_servers
+        self.catalog = VideoCatalog(
+            sizes=np.full(num_movies, float(movie_size)),
+            weights=zipf_weights(num_movies, zipf_exponent),
+        )
+        self.capacities = np.full(num_servers, capacity_movies * float(movie_size))
+        self.drift = drift
+        self.releases_per_day = releases_per_day
+        self.requests_per_day = requests_per_day
+        self.dummy_constant = dummy_constant
+        topo = brite_paper_topology(n=num_servers, rng=self._gen)
+        self.costs = cost_matrix_from_topology(topo)
+        self._placement = self._compute_placement()
+        self.day = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def placement(self) -> np.ndarray:
+        """Current placement matrix (copy)."""
+        return self._placement.copy()
+
+    def _compute_placement(self) -> np.ndarray:
+        demand = sample_requests(
+            self.catalog.weights,
+            self.requests_per_day,
+            self.num_servers,
+            rng=self._gen,
+        )
+        return greedy_placement(
+            self.costs,
+            self.catalog.sizes,
+            self.capacities,
+            demand.astype(np.float64),
+            rng=self._gen,
+        )
+
+    def advance_day(self) -> RtspInstance:
+        """Advance popularity one day and return the day's RTSP instance.
+
+        The instance's ``X_old`` is yesterday's placement and ``X_new``
+        today's greedy placement under the drifted popularity.
+        """
+        self.day += 1
+        self.catalog.weights = drift_weights(
+            self.catalog.weights, self.drift, rng=self._gen
+        )
+        if self.releases_per_day:
+            # New releases replace the currently least popular movies.
+            losers = np.argsort(self.catalog.weights)[: self.releases_per_day]
+            for movie in losers:
+                self.catalog.release(int(movie), rng=self._gen)
+        x_old = self._placement
+        x_new = self._compute_placement()
+        self._placement = x_new
+        return RtspInstance.create(
+            self.catalog.sizes,
+            self.capacities,
+            self.costs,
+            x_old,
+            x_new,
+            dummy_constant=self.dummy_constant,
+        )
+
+    def days(self, count: int) -> Iterator[RtspInstance]:
+        """Yield ``count`` consecutive daily RTSP instances."""
+        for _ in range(count):
+            yield self.advance_day()

@@ -1,0 +1,68 @@
+"""Zipf popularity models.
+
+Client interest in movies/web objects is classically Zipf-distributed; the
+motivating scenario of the paper (§2.1, distributed video server) changes
+placement as popularity drifts. These helpers feed the placement
+substrate in :mod:`repro.placement` and the video scenario in
+:mod:`repro.workloads.video`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+from repro.util.rng import ensure_rng
+
+
+def zipf_weights(num_objects: int, exponent: float = 0.8) -> np.ndarray:
+    """Normalised Zipf weights: ``w_j ∝ 1 / rank_j^exponent``.
+
+    Index 0 is the most popular object. Weights sum to 1.
+    """
+    if num_objects < 1:
+        raise ConfigurationError("need at least one object")
+    if exponent < 0:
+        raise ConfigurationError("exponent must be non-negative")
+    ranks = np.arange(1, num_objects + 1, dtype=np.float64)
+    w = 1.0 / np.power(ranks, exponent)
+    return w / w.sum()
+
+
+def sample_requests(
+    weights: np.ndarray, num_requests: int, num_clients: int, rng=None
+) -> np.ndarray:
+    """Sample a ``num_clients x num_objects`` request-count matrix.
+
+    Each request picks a client uniformly and an object by ``weights``;
+    entry ``[c, k]`` counts requests from client ``c`` for object ``k``.
+    """
+    gen = ensure_rng(rng)
+    n = weights.shape[0]
+    counts = np.zeros((num_clients, n), dtype=np.int64)
+    clients = gen.integers(0, num_clients, size=num_requests)
+    objects = gen.choice(n, size=num_requests, p=weights)
+    np.add.at(counts, (clients, objects), 1)
+    return counts
+
+
+def drift_weights(
+    weights: np.ndarray, drift: float, rng=None
+) -> np.ndarray:
+    """Evolve a popularity vector one epoch forward.
+
+    A fraction ``drift`` of the probability mass is re-assigned by
+    swapping ranks of randomly chosen object pairs, modelling movies
+    rising and falling in the charts while the overall Zipf shape is
+    preserved.
+    """
+    if not 0.0 <= drift <= 1.0:
+        raise ConfigurationError("drift must lie in [0, 1]")
+    gen = ensure_rng(rng)
+    out = weights.copy()
+    n = out.shape[0]
+    num_swaps = int(round(drift * n / 2))
+    for _ in range(num_swaps):
+        a, b = gen.integers(0, n, size=2)
+        out[a], out[b] = out[b], out[a]
+    return out

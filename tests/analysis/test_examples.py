@@ -1,0 +1,83 @@
+"""Tests that the paper's example instances match their descriptions."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.examples import (
+    OBJECTS,
+    fig1_deadlock_instance,
+    fig3_example_instance,
+)
+from repro.model.state import SystemState
+
+
+class TestFig1:
+    def test_dimensions(self):
+        inst = fig1_deadlock_instance()
+        assert inst.num_servers == 4
+        assert inst.num_objects == 4
+
+    def test_single_slot_servers(self):
+        inst = fig1_deadlock_instance()
+        assert (inst.capacities == 1.0).all()
+        assert (inst.sizes == 1.0).all()
+
+    def test_cyclic_shift(self):
+        inst = fig1_deadlock_instance()
+        # S_i holds O_i in X_old and wants O_{(i-1) mod 4} in X_new
+        # (S1 <- D, S2 <- A, S3 <- B, S4 <- C, as in the paper)
+        for i in range(4):
+            assert inst.x_old[i, i] == 1
+            assert inst.x_new[i, (i - 1) % 4] == 1
+        assert inst.x_old.sum() == 4 and inst.x_new.sum() == 4
+
+    def test_zero_overlap(self):
+        inst = fig1_deadlock_instance()
+        assert ((inst.x_old == 1) & (inst.x_new == 1)).sum() == 0
+
+    def test_dummy_constant_scales_cost(self):
+        cheap = fig1_deadlock_instance(dummy_constant=1.0)
+        pricey = fig1_deadlock_instance(dummy_constant=3.0)
+        assert pricey.dummy_cost == 3 * cheap.dummy_cost
+
+
+class TestFig3:
+    def test_placements_match_paper(self):
+        inst = fig3_example_instance()
+        A, B, C, D = (OBJECTS[x] for x in "ABCD")
+        expect_old = {0: {A, B}, 1: {C, D}, 2: {B, C}, 3: {A, B}}
+        expect_new = {0: {B, D}, 1: {A, B}, 2: {C, D}, 3: {C, D}}
+        for server, objs in expect_old.items():
+            assert set(np.flatnonzero(inst.x_old[server])) == objs
+        for server, objs in expect_new.items():
+            assert set(np.flatnonzero(inst.x_new[server])) == objs
+
+    def test_stated_link_costs(self):
+        inst = fig3_example_instance()
+        # the paper explicitly states l_34 = 1 < l_14 = 2 (1-indexed)
+        assert inst.costs[2, 3] == 1.0
+        assert inst.costs[0, 3] == 2.0
+
+    def test_source_choices_match_walkthrough(self):
+        """The reconstructed costs reproduce every nearest-source decision
+        the paper's §4.1 walkthroughs make."""
+        inst = fig3_example_instance()
+        A, B, C, D = (OBJECTS[x] for x in "ABCD")
+        state = SystemState(inst)
+        # GSDF considering S2 first: pulls A and B from S1
+        assert state.nearest(1, A) == 0
+        assert state.nearest(1, B) == 0
+        # S4 pulls C from S3 (S2's copy assumed deleted in the walkthrough:
+        # exclude it) and D from S3 over S1
+        assert state.nearest(3, C, exclude=(1,)) == 2
+        # after D is re-created at S1 and S3, S4 prefers S3 (l_34=1 < l_14=2)
+        assert float(inst.costs[3, 2]) < float(inst.costs[3, 0])
+
+    def test_zero_slack(self):
+        inst = fig3_example_instance()
+        assert (inst.old_loads() == inst.capacities).all()
+        assert (inst.new_loads() == inst.capacities).all()
+
+    def test_diff_counts(self):
+        inst = fig3_example_instance()
+        assert inst.diff_counts() == (6, 6)

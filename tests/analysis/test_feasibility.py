@@ -1,0 +1,78 @@
+"""Tests for feasibility analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.examples import fig1_deadlock_instance, fig3_example_instance
+from repro.analysis.feasibility import (
+    analyze_feasibility,
+    deadlock_risk_servers,
+    is_trivially_sequenceable,
+    minimum_dummy_transfers,
+)
+from repro.model.instance import RtspInstance
+
+
+def make(x_old, x_new, caps, sizes=None):
+    x_old = np.asarray(x_old, dtype=np.int8)
+    x_new = np.asarray(x_new, dtype=np.int8)
+    m, n = x_old.shape
+    sizes = np.ones(n) if sizes is None else np.asarray(sizes, float)
+    costs = np.ones((m, m)) - np.eye(m)
+    return RtspInstance.create(sizes, caps, costs, x_old, x_new)
+
+
+class TestTriviallySequenceable:
+    def test_ample_slack(self):
+        inst = make([[1], [0]], [[1], [1]], caps=[2.0, 2.0])
+        assert is_trivially_sequenceable(inst)
+
+    def test_zero_slack_not_trivial(self):
+        assert not is_trivially_sequenceable(fig1_deadlock_instance())
+
+    def test_unsourced_object_not_trivial(self):
+        inst = make([[0], [0]], [[1], [0]], caps=[1.0, 1.0])
+        assert not is_trivially_sequenceable(inst)
+
+    def test_no_changes_is_trivial(self):
+        inst = make([[1], [0]], [[1], [0]], caps=[1.0, 1.0])
+        assert is_trivially_sequenceable(inst)
+
+
+class TestDeadlockRisk:
+    def test_fig1_all_servers_at_risk(self):
+        assert deadlock_risk_servers(fig1_deadlock_instance()) == [0, 1, 2, 3]
+
+    def test_fig3_all_servers_at_risk(self):
+        # Fig. 3 has zero slack everywhere too, but is resolvable
+        assert len(deadlock_risk_servers(fig3_example_instance())) == 4
+
+    def test_slack_removes_risk(self):
+        inst = make([[1], [0]], [[1], [1]], caps=[1.0, 1.0])
+        assert deadlock_risk_servers(inst) == []
+
+
+class TestAnalyzeFeasibility:
+    def test_fig1_summary(self):
+        summary = analyze_feasibility(fig1_deadlock_instance())
+        assert summary.storage_feasible
+        assert not summary.trivially_sequenceable
+        assert summary.transfer_cycle
+        assert summary.zero_slack_servers == [0, 1, 2, 3]
+        assert summary.deadlock_possible
+
+    def test_benign_instance(self):
+        inst = make([[1], [0]], [[1], [1]], caps=[2.0, 2.0])
+        summary = analyze_feasibility(inst)
+        assert summary.trivially_sequenceable
+        assert not summary.deadlock_possible
+        assert summary.forced_dummy_objects == set()
+
+    def test_forced_dummies_counted(self):
+        inst = make([[0, 1], [0, 0]], [[1, 1], [0, 0]], caps=[2.0, 2.0])
+        summary = analyze_feasibility(inst)
+        assert summary.forced_dummy_objects == {0}
+        assert minimum_dummy_transfers(inst) == 1
+
+    def test_zero_minimum_dummies(self):
+        assert minimum_dummy_transfers(fig1_deadlock_instance()) == 0

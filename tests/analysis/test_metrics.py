@@ -1,0 +1,86 @@
+"""Tests for schedule metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    count_dummy_transfers,
+    implementation_cost,
+    schedule_stats,
+)
+from repro.model.actions import Delete, Transfer
+from repro.model.instance import RtspInstance
+from repro.model.schedule import Schedule
+
+
+@pytest.fixture
+def inst():
+    x_old = np.array([[1, 0], [0, 1]], dtype=np.int8)
+    x_new = np.array([[0, 1], [1, 0]], dtype=np.int8)
+    costs = np.array([[0.0, 2.0], [2.0, 0.0]])
+    return RtspInstance.create([1.0, 1.0], [2.0, 2.0], costs, x_old, x_new)
+
+
+@pytest.fixture
+def schedule(inst):
+    return Schedule(
+        [
+            Transfer(1, 0, 0),
+            Delete(0, 0),
+            Transfer(0, 1, inst.dummy),
+            Delete(1, 1),
+        ]
+    )
+
+
+class TestBasicMetrics:
+    def test_cost(self, inst, schedule):
+        # real transfer: 1*2; dummy transfer: 1*3
+        assert implementation_cost(schedule, inst) == 5.0
+
+    def test_dummy_count(self, inst, schedule):
+        assert count_dummy_transfers(schedule, inst) == 1
+
+
+class TestScheduleStats:
+    def test_counts(self, inst, schedule):
+        stats = schedule_stats(schedule, inst)
+        assert stats.num_actions == 4
+        assert stats.num_transfers == 2
+        assert stats.num_deletions == 2
+        assert stats.num_dummy_transfers == 1
+
+    def test_cost_share(self, inst, schedule):
+        stats = schedule_stats(schedule, inst)
+        assert stats.cost == 5.0
+        assert stats.dummy_cost_share == pytest.approx(3.0 / 5.0)
+
+    def test_last_dummy_position(self, inst, schedule):
+        assert schedule_stats(schedule, inst).max_position_dummy == 2
+
+    def test_no_dummy_schedule(self, inst):
+        s = Schedule([Transfer(1, 0, 0)])
+        stats = schedule_stats(s, inst)
+        assert stats.num_dummy_transfers == 0
+        assert stats.dummy_cost_share == 0.0
+        assert stats.max_position_dummy == -1
+
+    def test_empty_schedule(self, inst):
+        stats = schedule_stats(Schedule(), inst)
+        assert stats.num_actions == 0
+        assert stats.cost == 0.0
+        assert stats.dummy_cost_share == 0.0
+
+    def test_as_dict_roundtrip(self, inst, schedule):
+        d = schedule_stats(schedule, inst).as_dict()
+        assert d["num_transfers"] == 2
+        assert d["cost"] == 5.0
+        assert set(d) == {
+            "num_actions",
+            "num_transfers",
+            "num_deletions",
+            "num_dummy_transfers",
+            "cost",
+            "dummy_cost_share",
+            "max_position_dummy",
+        }

@@ -1,0 +1,99 @@
+"""Tests for the transfer graph (paper Fig. 1b)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.examples import fig1_deadlock_instance
+from repro.analysis.transfer_graph import (
+    build_transfer_graph,
+    has_transfer_cycle,
+    objects_without_source,
+    sole_source_arcs,
+    transfer_graph_cycles,
+)
+from repro.model.instance import RtspInstance
+
+
+def simple_instance(x_old, x_new, caps=None):
+    x_old = np.asarray(x_old, dtype=np.int8)
+    x_new = np.asarray(x_new, dtype=np.int8)
+    m, n = x_old.shape
+    caps = np.full(m, float(n)) if caps is None else np.asarray(caps, float)
+    costs = np.ones((m, m)) - np.eye(m)
+    return RtspInstance.create(np.ones(n), caps, costs, x_old, x_new)
+
+
+class TestBuildGraph:
+    def test_fig1_graph_is_a_cycle(self):
+        g = build_transfer_graph(fig1_deadlock_instance())
+        assert g.number_of_nodes() == 4
+        assert g.number_of_edges() == 4
+        assert all(g.out_degree(u) == 1 and g.in_degree(u) == 1 for u in g)
+
+    def test_arc_per_source(self):
+        # O0 replicated on S0 and S1; outstanding on S2 -> two arcs
+        inst = simple_instance(
+            [[1], [1], [0]],
+            [[1], [1], [1]],
+        )
+        g = build_transfer_graph(inst)
+        assert g.number_of_edges() == 2
+        assert set(g.predecessors(2)) == {0, 1}
+
+    def test_arcs_carry_object_labels(self):
+        inst = simple_instance([[1], [0]], [[1], [1]])
+        g = build_transfer_graph(inst)
+        (_, _, data), = g.edges(data=True)
+        assert data["obj"] == 0
+
+    def test_no_outstanding_no_arcs(self):
+        inst = simple_instance([[1], [0]], [[1], [0]])
+        assert build_transfer_graph(inst).number_of_edges() == 0
+
+
+class TestCycles:
+    def test_fig1_has_cycle(self):
+        assert has_transfer_cycle(fig1_deadlock_instance())
+
+    def test_fig1_cycle_enumeration(self):
+        cycles = transfer_graph_cycles(fig1_deadlock_instance())
+        assert any(len(c) == 4 for c in cycles)
+
+    def test_star_expansion_has_no_cycle(self):
+        # one object spreading out: no cycle possible
+        inst = simple_instance(
+            [[1], [0], [0]],
+            [[1], [1], [1]],
+        )
+        assert not has_transfer_cycle(inst)
+
+    def test_cycle_limit_respected(self):
+        cycles = transfer_graph_cycles(fig1_deadlock_instance(), limit=0)
+        assert cycles == []
+
+
+class TestFragileStructure:
+    def test_sole_source_arcs(self):
+        inst = simple_instance(
+            [[1, 1], [0, 1], [0, 0]],
+            [[1, 1], [0, 1], [1, 0]],
+        )
+        # O0 outstanding at S2, only S0 holds it
+        assert sole_source_arcs(inst) == [(0, 2, 0)]
+
+    def test_multi_source_not_fragile(self):
+        inst = simple_instance(
+            [[1], [1], [0]],
+            [[1], [1], [1]],
+        )
+        assert sole_source_arcs(inst) == []
+
+    def test_objects_without_source(self):
+        inst = simple_instance(
+            [[0, 1], [0, 0]],
+            [[1, 1], [0, 0]],
+        )
+        assert objects_without_source(inst) == {0}
+
+    def test_all_objects_sourced(self):
+        assert objects_without_source(fig1_deadlock_instance()) == set()

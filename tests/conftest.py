@@ -1,0 +1,61 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.examples import fig1_deadlock_instance, fig3_example_instance
+from repro.model.instance import RtspInstance
+from repro.workloads.regular import paper_instance
+
+
+@pytest.fixture
+def tiny_instance() -> RtspInstance:
+    """Three servers, two unit objects, one outstanding replica.
+
+    S0 holds O0, S1 holds O1; the new scheme moves O0 to S2. Capacities
+    are loose so every action ordering is valid.
+    """
+    x_old = np.array([[1, 0], [0, 1], [0, 0]], dtype=np.int8)
+    x_new = np.array([[0, 0], [0, 1], [1, 0]], dtype=np.int8)
+    costs = np.array(
+        [[0.0, 1.0, 2.0], [1.0, 0.0, 1.0], [2.0, 1.0, 0.0]]
+    )
+    return RtspInstance.create(
+        sizes=[1.0, 1.0],
+        capacities=[2.0, 2.0, 2.0],
+        costs=costs,
+        x_old=x_old,
+        x_new=x_new,
+    )
+
+
+@pytest.fixture
+def fig1() -> RtspInstance:
+    """The paper's Fig. 1 deadlock instance."""
+    return fig1_deadlock_instance()
+
+
+@pytest.fixture
+def fig3() -> RtspInstance:
+    """The paper's Fig. 3 walkthrough instance."""
+    return fig3_example_instance()
+
+
+@pytest.fixture(scope="session")
+def small_paper_instance() -> RtspInstance:
+    """A small instance with the paper's workload structure (zero slack)."""
+    return paper_instance(replicas=2, num_servers=10, num_objects=40, rng=123)
+
+
+@pytest.fixture(scope="session")
+def medium_paper_instance() -> RtspInstance:
+    """A mid-size zero-slack instance for integration tests."""
+    return paper_instance(replicas=2, num_servers=20, num_objects=100, rng=321)
+
+
+def assert_valid(schedule, instance) -> None:
+    """Assert a schedule is valid, with a useful failure message."""
+    report = schedule.validate(instance)
+    assert report.ok, f"invalid at {report.position}: {report.message}"

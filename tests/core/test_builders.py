@@ -1,0 +1,200 @@
+"""Tests for the four schedule builders (RDF, GSDF, AR, GOLCF)."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_pipeline, get_builder
+from repro.model.actions import Delete, Transfer, is_delete, is_transfer
+from repro.workloads.regular import paper_instance
+
+BUILDERS = ["RDF", "GSDF", "AR", "GOLCF"]
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return paper_instance(replicas=2, num_servers=8, num_objects=24, rng=99)
+
+
+@pytest.mark.parametrize("name", BUILDERS)
+class TestAllBuilders:
+    def test_produces_valid_schedule(self, name, instance):
+        schedule = get_builder(name).build(instance, rng=0)
+        report = schedule.validate(instance)
+        assert report.ok, f"{name}: {report.message} @ {report.position}"
+
+    def test_valid_on_deadlock_instance(self, name, fig1):
+        schedule = get_builder(name).build(fig1, rng=0)
+        assert schedule.validate(fig1).ok
+
+    def test_valid_on_fig3(self, name, fig3):
+        schedule = get_builder(name).build(fig3, rng=0)
+        assert schedule.validate(fig3).ok
+
+    def test_action_counts(self, name, instance):
+        schedule = get_builder(name).build(instance, rng=1)
+        outstanding, superfluous = instance.diff_counts()
+        assert len(schedule.transfers()) == outstanding
+        assert len(schedule.deletions()) == superfluous
+
+    def test_deterministic_under_seed(self, name, instance):
+        a = get_builder(name).build(instance, rng=7)
+        b = get_builder(name).build(instance, rng=7)
+        assert a == b
+
+    def test_varies_across_seeds(self, name, instance):
+        a = get_builder(name).build(instance, rng=1)
+        b = get_builder(name).build(instance, rng=2)
+        assert a != b
+
+    def test_transfers_target_outstanding_cells(self, name, instance):
+        schedule = get_builder(name).build(instance, rng=3)
+        outstanding = instance.outstanding()
+        for t in schedule.transfers():
+            assert outstanding[t.target, t.obj] == 1
+
+    def test_deletions_cover_superfluous_cells(self, name, instance):
+        schedule = get_builder(name).build(instance, rng=3)
+        superfluous = instance.superfluous()
+        deleted = {(d.server, d.obj) for d in schedule.deletions()}
+        expected = {
+            (int(i), int(k)) for i, k in zip(*np.nonzero(superfluous))
+        }
+        assert deleted == expected
+
+    def test_no_op_instance(self, name):
+        inst = paper_instance(replicas=2, num_servers=6, num_objects=12, rng=4)
+        from repro.model.instance import RtspInstance
+
+        same = RtspInstance.create(
+            inst.sizes, inst.capacities, inst.costs, inst.x_old, inst.x_old
+        )
+        schedule = get_builder(name).build(same, rng=0)
+        assert len(schedule) == 0
+        assert schedule.validate(same).ok
+
+
+class TestRdfStructure:
+    def test_all_deletions_precede_all_transfers(self, instance):
+        schedule = get_builder("RDF").build(instance, rng=5)
+        kinds = [is_transfer(a) for a in schedule]
+        first_transfer = kinds.index(True)
+        assert all(kinds[first_transfer:])
+
+    def test_uses_nearest_available_source(self, instance):
+        schedule = get_builder("RDF").build(instance, rng=5)
+        state = instance and None
+        # replay and check each transfer's source is the then-nearest
+        from repro.model.state import SystemState
+
+        state = SystemState(instance)
+        for action in schedule:
+            if is_transfer(action):
+                assert action.source == state.nearest(action.target, action.obj)
+            state.apply(action)
+
+
+class TestGsdfStructure:
+    def test_server_grouping(self, instance):
+        """Actions appear in contiguous per-server groups: deletions of a
+        server immediately followed by its transfers."""
+        schedule = get_builder("GSDF").build(instance, rng=5)
+        # group key: deletions/transfers both belong to their server
+        order = []
+        for a in schedule:
+            server = a.server if is_delete(a) else a.target
+            if not order or order[-1] != server:
+                order.append(server)
+        # each server appears at most once in the group sequence
+        assert len(order) == len(set(order))
+
+    def test_within_group_deletions_first(self, instance):
+        schedule = get_builder("GSDF").build(instance, rng=6)
+        current, seen_transfer = None, False
+        for a in schedule:
+            server = a.server if is_delete(a) else a.target
+            if server != current:
+                current, seen_transfer = server, False
+            if is_transfer(a):
+                seen_transfer = True
+            else:
+                assert not seen_transfer, "deletion after transfer in group"
+
+    def test_first_server_never_uses_dummy(self, fig3):
+        for seed in range(20):
+            schedule = get_builder("GSDF").build(fig3, rng=seed)
+            first_server = None
+            for a in schedule:
+                server = a.server if is_delete(a) else a.target
+                if first_server is None:
+                    first_server = server
+                if server != first_server:
+                    break
+                if is_transfer(a):
+                    assert a.source != fig3.dummy
+
+
+class TestArStructure:
+    def test_deletions_are_lazy(self, instance):
+        """AR deletes only when space is needed: every deletion that is
+        not in the final flush is immediately useful for its server."""
+        schedule = get_builder("AR").build(instance, rng=8)
+        # the schedule interleaves; at minimum it must not be RDF-shaped
+        # for tight instances: some transfer happens before some deletion.
+        kinds = [is_transfer(a) for a in schedule]
+        first_transfer = kinds.index(True)
+        assert not all(kinds[first_transfer:])
+
+    def test_final_flush_deletes_leftovers(self, instance):
+        schedule = get_builder("AR").build(instance, rng=8)
+        report = schedule.validate(instance)
+        assert report.ok
+
+
+class TestGolcfStructure:
+    def test_object_at_a_time(self, instance):
+        """Transfers of each object form one contiguous block."""
+        schedule = get_builder("GOLCF").build(instance, rng=9)
+        transfer_objs = [a.obj for a in schedule if is_transfer(a)]
+        seen = set()
+        current = None
+        for obj in transfer_objs:
+            if obj != current:
+                assert obj not in seen, f"object {obj} split into blocks"
+                seen.add(obj)
+                current = obj
+
+    def test_lowest_cost_target_chosen_each_step(self, instance):
+        """Each transfer goes to the pending target with the cheapest
+        nearest-source cost *at that moment* (later transfers can be
+        cheaper once the fresh replica becomes a nearby source)."""
+        from repro.model.state import SystemState
+
+        schedule = get_builder("GOLCF").build(instance, rng=9)
+        # remaining targets per object, in schedule order
+        remaining = {}
+        for a in schedule.transfers():
+            remaining.setdefault(a.obj, []).append(a.target)
+        state = SystemState(instance)
+        for action in schedule:
+            if is_transfer(action):
+                pending = remaining[action.obj]
+                best = min(
+                    state.nearest_cost(t, action.obj) for t in pending
+                )
+                chosen = state.nearest_cost(action.target, action.obj)
+                assert chosen == pytest.approx(best)
+                pending.remove(action.target)
+            state.apply(action)
+
+    def test_beats_ar_on_average_cost(self):
+        inst = paper_instance(replicas=2, num_servers=10, num_objects=40, rng=55)
+        golcf = np.mean(
+            [
+                build_pipeline("GOLCF").run(inst, rng=s).cost(inst)
+                for s in range(5)
+            ]
+        )
+        ar = np.mean(
+            [build_pipeline("AR").run(inst, rng=s).cost(inst) for s in range(5)]
+        )
+        assert golcf < ar

@@ -1,0 +1,59 @@
+"""Tests: objects with no source anywhere force exactly one dummy each.
+
+When an outstanding object has no replicator in ``X_old`` (a brand-new
+movie, in the paper's motivation), its first copy can only come from the
+dummy/archival server. H1 and H2 must leave that dummy alone — there is
+nothing to restore it from — while still eliminating every *avoidable*
+dummy, and further copies must chain off the first real replica.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.feasibility import minimum_dummy_transfers
+from repro.core import build_pipeline
+from repro.model.instance import RtspInstance
+
+
+@pytest.fixture
+def new_release_instance():
+    """O0 is brand new (no replica anywhere); O1/O2 merely reshuffle."""
+    x_old = np.array(
+        [[0, 1, 0], [0, 0, 1], [0, 0, 0]], dtype=np.int8
+    )
+    x_new = np.array(
+        [[1, 0, 0], [1, 1, 0], [1, 0, 1]], dtype=np.int8
+    )
+    costs = np.array(
+        [[0.0, 1.0, 2.0], [1.0, 0.0, 1.0], [2.0, 1.0, 0.0]]
+    )
+    return RtspInstance.create(
+        [1.0, 1.0, 1.0], [3.0, 3.0, 3.0], costs, x_old, x_new
+    )
+
+
+class TestForcedDummies:
+    def test_floor_is_one(self, new_release_instance):
+        assert minimum_dummy_transfers(new_release_instance) == 1
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["RDF+H1+H2", "AR+H1+H2", "GOLCF+H1+H2", "GOLCF+H1+H2+OP1"],
+    )
+    def test_optimized_pipelines_hit_the_floor(self, new_release_instance, spec):
+        inst = new_release_instance
+        for seed in range(5):
+            schedule = build_pipeline(spec).run(inst, rng=seed)
+            assert schedule.validate(inst).ok
+            assert schedule.count_dummy_transfers(inst) == 1, (spec, seed)
+
+    def test_later_copies_chain_off_the_first(self, new_release_instance):
+        """Only O0's *first* copy is a dummy transfer; the other two
+        targets fetch from real replicas."""
+        inst = new_release_instance
+        schedule = build_pipeline("GOLCF+H1+H2").run(inst, rng=0)
+        o0_transfers = [t for t in schedule.transfers() if t.obj == 0]
+        assert len(o0_transfers) == 3
+        dummies = [t for t in o0_transfers if t.source == inst.dummy]
+        assert len(dummies) == 1
+        assert o0_transfers[0].source == inst.dummy

@@ -1,0 +1,93 @@
+"""Tests for GMC (global minimum-cost-first builder, extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_pipeline, get_builder
+from repro.model.actions import Transfer, is_transfer
+from repro.model.state import SystemState
+from repro.workloads.regular import paper_instance
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return paper_instance(replicas=2, num_servers=10, num_objects=30, rng=23)
+
+
+class TestGmc:
+    def test_registered(self):
+        assert get_builder("GMC").name == "GMC"
+
+    def test_produces_valid_schedule(self, instance):
+        for seed in range(5):
+            schedule = get_builder("GMC").build(instance, rng=seed)
+            report = schedule.validate(instance)
+            assert report.ok, report.message
+
+    def test_valid_on_paper_examples(self, fig1, fig3):
+        for inst in (fig1, fig3):
+            schedule = get_builder("GMC").build(inst, rng=0)
+            assert schedule.validate(inst).ok
+
+    def test_action_counts(self, instance):
+        schedule = get_builder("GMC").build(instance, rng=1)
+        outstanding, superfluous = instance.diff_counts()
+        assert len(schedule.transfers()) == outstanding
+        assert len(schedule.deletions()) == superfluous
+
+    def test_globally_cheapest_chosen_each_step(self, instance):
+        """Each transfer is the cheapest pending transfer at its moment."""
+        schedule = get_builder("GMC").build(instance, rng=2)
+        remaining = {}
+        for t in schedule.transfers():
+            remaining.setdefault(t.obj, set()).add(t.target)
+        state = SystemState(instance)
+        for action in schedule:
+            if is_transfer(action):
+                chosen = float(
+                    instance.sizes[action.obj]
+                    * instance.costs[action.target, action.source]
+                )
+                best = min(
+                    float(
+                        instance.sizes[k] * instance.costs[i, state.nearest(i, k)]
+                    )
+                    for k, targets in remaining.items()
+                    for i in targets
+                    if targets
+                )
+                assert chosen == pytest.approx(best)
+                remaining[action.obj].discard(action.target)
+                if not remaining[action.obj]:
+                    del remaining[action.obj]
+            state.apply(action)
+
+    def test_comparable_to_golcf(self, instance):
+        """The two greedy orders land within 25% of each other on the
+        paper's workload family."""
+        gmc = np.mean(
+            [
+                build_pipeline("GMC").run(instance, rng=s).cost(instance)
+                for s in range(4)
+            ]
+        )
+        golcf = np.mean(
+            [
+                build_pipeline("GOLCF").run(instance, rng=s).cost(instance)
+                for s in range(4)
+            ]
+        )
+        assert abs(gmc - golcf) / golcf < 0.25
+
+    def test_composes_with_optimizers(self, instance):
+        schedule = build_pipeline("GMC+H1+H2+OP1").run(instance, rng=0)
+        report = schedule.validate(instance)
+        assert report.ok
+        base = build_pipeline("GMC").run(instance, rng=0)
+        assert report.cost <= base.cost(instance) + 1e-9
+        assert report.dummy_transfers <= base.count_dummy_transfers(instance)
+
+    def test_deterministic(self, instance):
+        a = get_builder("GMC").build(instance, rng=9)
+        b = get_builder("GMC").build(instance, rng=9)
+        assert a == b

@@ -1,0 +1,121 @@
+"""Tests for H1 (move dummy transfers before deletions)."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_pipeline, get_builder
+from repro.core.optimizers.h1 import H1MoveDummyTransfers
+from repro.model.actions import Delete, Transfer
+from repro.model.schedule import Schedule
+from repro.workloads.regular import paper_instance
+
+
+@pytest.fixture(scope="module")
+def tight_instance():
+    return paper_instance(replicas=2, num_servers=10, num_objects=30, rng=77)
+
+
+class TestBasicBehaviour:
+    def test_preserves_validity(self, tight_instance):
+        for builder in ("RDF", "AR", "GOLCF"):
+            base = get_builder(builder).build(tight_instance, rng=0)
+            out = H1MoveDummyTransfers().optimize(tight_instance, base)
+            assert out.validate(tight_instance).ok, builder
+
+    def test_never_increases_dummies(self, tight_instance):
+        for seed in range(5):
+            base = get_builder("AR").build(tight_instance, rng=seed)
+            out = H1MoveDummyTransfers().optimize(tight_instance, base)
+            assert out.count_dummy_transfers(
+                tight_instance
+            ) <= base.count_dummy_transfers(tight_instance)
+
+    def test_reduces_dummies_on_rdf(self, tight_instance):
+        """RDF's delete-everything-first schedules are H1's best case."""
+        base = get_builder("RDF").build(tight_instance, rng=1)
+        out = H1MoveDummyTransfers().optimize(tight_instance, base)
+        assert out.count_dummy_transfers(
+            tight_instance
+        ) < base.count_dummy_transfers(tight_instance)
+
+    def test_input_schedule_unchanged(self, tight_instance):
+        base = get_builder("RDF").build(tight_instance, rng=1)
+        snapshot = base.actions()
+        H1MoveDummyTransfers().optimize(tight_instance, base)
+        assert base.actions() == snapshot
+
+    def test_no_dummies_is_noop(self, tiny_instance):
+        base = Schedule([Transfer(2, 0, 0), Delete(0, 0)])
+        out = H1MoveDummyTransfers().optimize(tiny_instance, base)
+        assert out == base
+
+
+class TestPaperWalkthrough:
+    def test_restores_simple_dummy_by_moving(self, fig3):
+        """The paper's first H1 example: T_1Dd moves before D_2D and turns
+        into T_1D2 (0-indexed: transfer of obj 3 to server 0, source 1)."""
+        # RDF-like schedule from the paper (§4.1), 0-indexed
+        D = {"A": 0, "B": 1, "C": 2, "D": 3}
+        base = Schedule(
+            [
+                Delete(0, D["A"]),
+                Delete(3, D["B"]),
+                Delete(2, D["B"]),
+                Delete(3, D["A"]),
+                Delete(1, D["D"]),
+                Delete(1, D["C"]),
+                Transfer(0, D["D"], fig3.dummy),
+                Transfer(3, D["C"], 2),
+                Transfer(2, D["D"], 0),
+                Transfer(1, D["B"], 0),
+                Transfer(1, D["A"], fig3.dummy),
+                Transfer(3, D["D"], 2),
+            ]
+        )
+        assert base.validate(fig3).ok
+        assert base.count_dummy_transfers(fig3) == 2
+        out = H1MoveDummyTransfers().optimize(fig3, base)
+        assert out.validate(fig3).ok
+        # H1 can restore both dummies on this schedule
+        assert out.count_dummy_transfers(fig3) == 0
+        # the restored transfer of D to S1 sources from S2 (paper: T_1D2)
+        restored = [
+            a
+            for a in out.transfers()
+            if a.target == 0 and a.obj == D["D"]
+        ]
+        assert restored[0].source == 1
+
+
+class TestKnobs:
+    def test_zero_passes_is_noop(self, tight_instance):
+        base = get_builder("RDF").build(tight_instance, rng=2)
+        out = H1MoveDummyTransfers(max_passes=0).optimize(tight_instance, base)
+        assert out == base
+
+    def test_more_deletion_candidates_never_worse(self, tight_instance):
+        base = get_builder("RDF").build(tight_instance, rng=3)
+        narrow = H1MoveDummyTransfers(max_deletion_candidates=1).optimize(
+            tight_instance, base
+        )
+        wide = H1MoveDummyTransfers(max_deletion_candidates=8).optimize(
+            tight_instance, base
+        )
+        assert wide.count_dummy_transfers(
+            tight_instance
+        ) <= narrow.count_dummy_transfers(tight_instance)
+
+    def test_depth_zero_still_valid(self, tight_instance):
+        base = get_builder("RDF").build(tight_instance, rng=4)
+        out = H1MoveDummyTransfers(max_depth=0).optimize(tight_instance, base)
+        assert out.validate(tight_instance).ok
+
+
+class TestCostEffect:
+    def test_dummy_replacement_reduces_cost(self, tight_instance):
+        """Every dummy transfer H1 converts had the maximal per-unit cost,
+        so the schedule cost never increases."""
+        for seed in range(3):
+            base = get_builder("RDF").build(tight_instance, rng=seed)
+            out = H1MoveDummyTransfers().optimize(tight_instance, base)
+            assert out.cost(tight_instance) <= base.cost(tight_instance) + 1e-9

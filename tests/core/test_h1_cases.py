@@ -1,0 +1,141 @@
+"""Targeted tests for H1's repair cases (paper §4.1 cases i-iii)."""
+
+import numpy as np
+import pytest
+
+from repro.core.optimizers.h1 import H1MoveDummyTransfers
+from repro.model.actions import Delete, Transfer
+from repro.model.instance import RtspInstance
+from repro.model.schedule import Schedule
+
+# objects
+A, B, C = 0, 1, 2
+
+
+def make_instance(x_old, x_new, capacities, m=None):
+    x_old = np.asarray(x_old, dtype=np.int8)
+    x_new = np.asarray(x_new, dtype=np.int8)
+    m = x_old.shape[0]
+    costs = np.ones((m, m)) - np.eye(m)
+    return RtspInstance.create(
+        np.ones(x_old.shape[1]), np.asarray(capacities, float), costs,
+        x_old, x_new,
+    )
+
+
+class TestCaseI:
+    def test_plain_move(self):
+        """No interference at the target: the transfer just moves back."""
+        inst = make_instance(
+            x_old=[[0, 0], [1, 0]],
+            x_new=[[1, 0], [0, 0]],
+            capacities=[1.0, 1.0],
+        )
+        base = Schedule([Delete(1, A), Transfer(0, A, inst.dummy)])
+        assert base.validate(inst).ok
+        out = H1MoveDummyTransfers().optimize(inst, base)
+        assert out.validate(inst).ok
+        assert out.count_dummy_transfers(inst) == 0
+        assert out[0] == Transfer(0, A, 1)
+
+
+class TestCaseII:
+    def test_standalone_deletion_hoisted(self):
+        """The target is full; its own (standalone) deletion is hoisted
+        before the restored transfer."""
+        inst = make_instance(
+            # S0: {B} -> {A};  S1: {A} -> {}
+            x_old=[[0, 1], [1, 0]],
+            x_new=[[1, 0], [0, 0]],
+            capacities=[1.0, 1.0],
+        )
+        base = Schedule(
+            [Delete(1, A), Delete(0, B), Transfer(0, A, inst.dummy)]
+        )
+        assert base.validate(inst).ok
+        out = H1MoveDummyTransfers().optimize(inst, base)
+        assert out.validate(inst).ok
+        assert out.count_dummy_transfers(inst) == 0
+        # hoisted deletion precedes the restored transfer
+        actions = out.actions()
+        assert actions.index(Delete(0, B)) < actions.index(Transfer(0, A, 1))
+
+
+class TestCaseIII:
+    @pytest.fixture
+    def pair_instance(self):
+        """S0 must swap B out (re-homed to S2) before receiving A."""
+        return make_instance(
+            # S0: {B} -> {A}; S1: {A} -> {}; S2: {} -> {B}
+            x_old=[[0, 1, 0], [1, 0, 0], [0, 0, 0]],
+            x_new=[[1, 0, 0], [0, 0, 0], [0, 1, 0]],
+            capacities=[1.0, 1.0, 1.0],
+        )
+
+    def test_pair_move(self, pair_instance):
+        """The deletion D(0,B) is fed by T(2,B,0); the pair moves before
+        the restored transfer."""
+        inst = pair_instance
+        base = Schedule(
+            [
+                Delete(1, A),
+                Transfer(2, B, 0),
+                Delete(0, B),
+                Transfer(0, A, inst.dummy),
+            ]
+        )
+        assert base.validate(inst).ok
+        out = H1MoveDummyTransfers().optimize(inst, base)
+        assert out.validate(inst).ok
+        assert out.count_dummy_transfers(inst) == 0
+        actions = out.actions()
+        # order: re-home B, delete it at S0, then the restored T(0,A,1)
+        assert actions.index(Transfer(2, B, 0)) < actions.index(Delete(0, B))
+        assert actions.index(Delete(0, B)) < actions.index(Transfer(0, A, 1))
+
+    def test_recursive_restoration(self):
+        """Pair move fails (the re-homing target is itself full) and H1
+        recursively restores the converted transfer (paper's H'')."""
+        inst = make_instance(
+            # S0: {B} -> {A}; S1: {A} -> {}; S2: {C} -> {B}; S3: {} -> {C}
+            x_old=[[0, 1, 0], [1, 0, 0], [0, 0, 1], [0, 0, 0]],
+            x_new=[[1, 0, 0], [0, 0, 0], [0, 1, 0], [0, 0, 1]],
+            capacities=[1.0, 1.0, 1.0, 1.0],
+        )
+        base = Schedule(
+            [
+                Delete(1, A),          # destroys A's only source
+                Transfer(3, C, 2),     # re-home C to the empty S3
+                Delete(2, C),
+                Transfer(2, B, 0),     # re-home B (S2 now has room)
+                Delete(0, B),
+                Transfer(0, A, inst.dummy),
+            ]
+        )
+        assert base.validate(inst).ok
+        out = H1MoveDummyTransfers().optimize(inst, base)
+        assert out.validate(inst).ok
+        assert out.count_dummy_transfers(inst) == 0
+
+    def test_backtracks_when_unrestorable(self):
+        """No repair exists: the original dummy transfer stays."""
+        inst = make_instance(
+            # two full servers swapping their objects, nobody to stage on
+            x_old=[[1, 0], [0, 1]],
+            x_new=[[0, 1], [1, 0]],
+            capacities=[1.0, 1.0],
+        )
+        base = Schedule(
+            [
+                Delete(0, A),
+                Delete(1, B),
+                Transfer(0, B, inst.dummy),
+                Transfer(1, A, inst.dummy),
+            ]
+        )
+        assert base.validate(inst).ok
+        out = H1MoveDummyTransfers().optimize(inst, base)
+        assert out.validate(inst).ok
+        # H1 can break the cycle once (move one transfer before the other
+        # deletion) but at least one dummy must remain
+        assert out.count_dummy_transfers(inst) >= 1

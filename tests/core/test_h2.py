@@ -1,0 +1,159 @@
+"""Tests for H2 (create superfluous replicas to source dummy transfers)."""
+
+import numpy as np
+import pytest
+
+from repro.core import get_builder
+from repro.core.optimizers.h1 import H1MoveDummyTransfers
+from repro.core.optimizers.h2 import H2CreateSuperfluousReplicas
+from repro.model.actions import Delete, Transfer
+from repro.model.instance import RtspInstance
+from repro.model.schedule import Schedule
+from repro.workloads.regular import paper_instance
+
+
+@pytest.fixture(scope="module")
+def tight_instance():
+    return paper_instance(replicas=2, num_servers=10, num_objects=30, rng=77)
+
+
+@pytest.fixture
+def staging_instance():
+    """An instance where only H2 can remove the dummy transfer.
+
+    S0 holds O0 and must swap it for O1; S1 holds O1 and must swap it for
+    O0; both are full, so neither can receive first — but S2 is empty and
+    can stage a copy. H1 has no lateral move here (each mover's capacity
+    is violated at every earlier point), H2 stages via S2.
+    """
+    x_old = np.array([[1, 0], [0, 1], [0, 0]], dtype=np.int8)
+    x_new = np.array([[0, 1], [1, 0], [0, 0]], dtype=np.int8)
+    costs = np.array(
+        [[0.0, 5.0, 1.0], [5.0, 0.0, 1.0], [1.0, 1.0, 0.0]]
+    )
+    return RtspInstance.create(
+        [1.0, 1.0], [1.0, 1.0, 1.0], costs, x_old, x_new
+    )
+
+
+class TestBasicBehaviour:
+    def test_preserves_validity(self, tight_instance):
+        for builder in ("RDF", "AR", "GOLCF"):
+            base = get_builder(builder).build(tight_instance, rng=0)
+            out = H2CreateSuperfluousReplicas().optimize(tight_instance, base)
+            assert out.validate(tight_instance).ok, builder
+
+    def test_never_increases_dummies(self, tight_instance):
+        for seed in range(5):
+            base = get_builder("AR").build(tight_instance, rng=seed)
+            out = H2CreateSuperfluousReplicas().optimize(tight_instance, base)
+            assert out.count_dummy_transfers(
+                tight_instance
+            ) <= base.count_dummy_transfers(tight_instance)
+
+    def test_input_unchanged(self, tight_instance):
+        base = get_builder("RDF").build(tight_instance, rng=1)
+        snapshot = base.actions()
+        H2CreateSuperfluousReplicas().optimize(tight_instance, base)
+        assert base.actions() == snapshot
+
+    def test_staged_replica_is_cleaned_up(self, staging_instance):
+        """H2's temporary replica must be deleted again (final state is
+        X_new exactly)."""
+        base = Schedule(
+            [
+                Delete(0, 0),
+                Delete(1, 1),
+                Transfer(0, 1, staging_instance.dummy),
+                Transfer(1, 0, staging_instance.dummy),
+            ]
+        )
+        assert base.validate(staging_instance).ok
+        out = H2CreateSuperfluousReplicas().optimize(staging_instance, base)
+        assert out.validate(staging_instance).ok
+        assert out.count_dummy_transfers(staging_instance) < 2
+
+
+class TestStagingScenario:
+    def test_h2_at_least_matches_h1_and_combination_wins(self, staging_instance):
+        """On the swap instance each heuristic alone fixes one of the two
+        dummies; only H1 followed by H2 (staging through the empty S2)
+        eliminates both."""
+        base = Schedule(
+            [
+                Delete(0, 0),
+                Delete(1, 1),
+                Transfer(0, 1, staging_instance.dummy),
+                Transfer(1, 0, staging_instance.dummy),
+            ]
+        )
+        h1_out = H1MoveDummyTransfers().optimize(staging_instance, base)
+        h2_out = H2CreateSuperfluousReplicas().optimize(staging_instance, base)
+        assert h2_out.count_dummy_transfers(
+            staging_instance
+        ) <= h1_out.count_dummy_transfers(staging_instance)
+        combined = H2CreateSuperfluousReplicas().optimize(
+            staging_instance, h1_out
+        )
+        assert combined.validate(staging_instance).ok
+        assert combined.count_dummy_transfers(staging_instance) == 0
+
+    def test_staging_transfer_injected_before_deletion(self, staging_instance):
+        base = Schedule(
+            [
+                Delete(0, 0),
+                Delete(1, 1),
+                Transfer(0, 1, staging_instance.dummy),
+                Transfer(1, 0, staging_instance.dummy),
+            ]
+        )
+        out = H2CreateSuperfluousReplicas().optimize(staging_instance, base)
+        # a transfer onto the spare server S2 now exists, plus its deletion
+        stage_transfers = [t for t in out.transfers() if t.target == 2]
+        stage_deletes = [d for d in out.deletions() if d.server == 2]
+        assert stage_transfers and stage_deletes
+
+
+class TestCombinedWithH1:
+    def test_h1_plus_h2_dominates_either(self, tight_instance):
+        for seed in range(3):
+            base = get_builder("RDF").build(tight_instance, rng=seed)
+            h1 = H1MoveDummyTransfers().optimize(tight_instance, base)
+            h1h2 = H2CreateSuperfluousReplicas().optimize(tight_instance, h1)
+            assert h1h2.validate(tight_instance).ok
+            assert h1h2.count_dummy_transfers(
+                tight_instance
+            ) <= h1.count_dummy_transfers(tight_instance)
+
+    def test_nearly_nullifies_dummies_at_two_replicas(self):
+        """The paper's headline: with 2 replicas/object, H1+H2 drive the
+        dummy count to (almost) zero."""
+        inst = paper_instance(replicas=2, num_servers=15, num_objects=60, rng=5)
+        base = get_builder("GOLCF").build(inst, rng=0)
+        h1 = H1MoveDummyTransfers().optimize(inst, base)
+        out = H2CreateSuperfluousReplicas().optimize(inst, h1)
+        assert base.count_dummy_transfers(inst) > 0
+        assert out.count_dummy_transfers(inst) <= 1
+
+
+class TestKnobs:
+    def test_zero_passes_noop(self, tight_instance):
+        base = get_builder("RDF").build(tight_instance, rng=2)
+        out = H2CreateSuperfluousReplicas(max_passes=0).optimize(
+            tight_instance, base
+        )
+        assert out == base
+
+    def test_no_stage_candidates_noop(self, staging_instance):
+        base = Schedule(
+            [
+                Delete(0, 0),
+                Delete(1, 1),
+                Transfer(0, 1, staging_instance.dummy),
+                Transfer(1, 0, staging_instance.dummy),
+            ]
+        )
+        out = H2CreateSuperfluousReplicas(max_stage_candidates=0).optimize(
+            staging_instance, base
+        )
+        assert out == base

@@ -1,0 +1,67 @@
+"""Tests for NSR (nearest-source refinement, extension)."""
+
+import pytest
+
+from repro.core import build_pipeline, get_builder, get_optimizer
+from repro.core.optimizers.nsr import NearestSourceRefinement
+from repro.model.actions import Delete, Transfer
+from repro.model.schedule import Schedule
+from repro.workloads.regular import paper_instance
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return paper_instance(replicas=3, num_servers=10, num_objects=30, rng=17)
+
+
+class TestNsr:
+    def test_registered(self):
+        assert get_optimizer("NSR").name == "NSR"
+
+    def test_preserves_validity(self, instance):
+        for spec in ("RDF", "AR", "GOLCF+H1+H2"):
+            base = build_pipeline(spec).run(instance, rng=0)
+            out = NearestSourceRefinement().optimize(instance, base)
+            assert out.validate(instance).ok
+
+    def test_never_increases_cost(self, instance):
+        for seed in range(5):
+            base = get_builder("AR").build(instance, rng=seed)
+            out = NearestSourceRefinement().optimize(instance, base)
+            assert out.cost(instance) <= base.cost(instance) + 1e-9
+
+    def test_preserves_action_structure(self, instance):
+        base = get_builder("GOLCF").build(instance, rng=1)
+        out = NearestSourceRefinement().optimize(instance, base)
+        assert len(out) == len(base)
+        for a, b in zip(base, out):
+            if isinstance(a, Transfer):
+                assert (a.target, a.obj) == (b.target, b.obj)
+            else:
+                assert a == b
+
+    def test_fixes_stale_source(self, tiny_instance):
+        # O0 at S0 (cost 2 to S2) and — after the first transfer — at S1
+        # (cost 1 to S2). A schedule pointing S2 at S0 gets re-pointed.
+        stale = Schedule(
+            [Transfer(1, 0, 0), Transfer(2, 0, 0), Delete(0, 0), Delete(1, 0)]
+        )
+        # (this tiny instance's X_new wants O0 only at S2)
+        inst = tiny_instance
+        assert stale.validate(inst).ok
+        out = NearestSourceRefinement().optimize(inst, stale)
+        assert out.validate(inst).ok
+        assert out[1] == Transfer(2, 0, 1)
+        assert out.cost(inst) < stale.cost(inst)
+
+    def test_idempotent(self, instance):
+        base = get_builder("AR").build(instance, rng=2)
+        once = NearestSourceRefinement().optimize(instance, base)
+        twice = NearestSourceRefinement().optimize(instance, once)
+        assert once == twice
+
+    def test_builders_already_nearest(self, instance):
+        """Fresh builder output uses nearest sources, so NSR is a no-op."""
+        base = get_builder("GOLCF").build(instance, rng=3)
+        out = NearestSourceRefinement().optimize(instance, base)
+        assert out == base

@@ -1,0 +1,132 @@
+"""Tests for OP1 (reordering same-object transfers)."""
+
+import numpy as np
+import pytest
+
+from repro.core import get_builder
+from repro.core.optimizers.op1 import OP1ReorderTransfers
+from repro.model.actions import Delete, Transfer
+from repro.model.instance import RtspInstance
+from repro.model.schedule import Schedule
+from repro.workloads.regular import paper_instance
+
+
+@pytest.fixture(scope="module")
+def tight_instance():
+    return paper_instance(replicas=3, num_servers=10, num_objects=30, rng=31)
+
+
+@pytest.fixture
+def relay_instance():
+    """An instance where transfer order changes cost.
+
+    O0 lives on S0. Both S1 (far from S0: 10) and S2 (near S0: 1, near
+    S1: 1) need copies. Fetching S2's copy first lets S1 fetch from S2
+    for 1 instead of from S0 for 10.
+    """
+    x_old = np.array([[1], [0], [0]], dtype=np.int8)
+    x_new = np.array([[1], [1], [1]], dtype=np.int8)
+    costs = np.array(
+        [[0.0, 10.0, 1.0], [10.0, 0.0, 1.0], [1.0, 1.0, 0.0]]
+    )
+    return RtspInstance.create([1.0], [1.0, 1.0, 1.0], costs, x_old, x_new)
+
+
+class TestBasicBehaviour:
+    def test_preserves_validity(self, tight_instance):
+        for builder in ("RDF", "AR", "GSDF", "GOLCF"):
+            base = get_builder(builder).build(tight_instance, rng=0)
+            out = OP1ReorderTransfers().optimize(tight_instance, base)
+            assert out.validate(tight_instance).ok, builder
+
+    def test_never_increases_cost(self, tight_instance):
+        for builder in ("RDF", "AR", "GSDF"):
+            for seed in range(3):
+                base = get_builder(builder).build(tight_instance, rng=seed)
+                out = OP1ReorderTransfers().optimize(tight_instance, base)
+                assert out.cost(tight_instance) <= base.cost(tight_instance) + 1e-9
+
+    def test_input_unchanged(self, tight_instance):
+        base = get_builder("RDF").build(tight_instance, rng=1)
+        snapshot = base.actions()
+        OP1ReorderTransfers().optimize(tight_instance, base)
+        assert base.actions() == snapshot
+
+    def test_improves_bad_order(self, relay_instance):
+        # expensive order: S1 fetches from S0 (10), then S2 from S1 (1)
+        base = Schedule([Transfer(1, 0, 0), Transfer(2, 0, 1)])
+        assert base.validate(relay_instance).ok
+        assert base.cost(relay_instance) == 11.0
+        out = OP1ReorderTransfers().optimize(relay_instance, base)
+        assert out.validate(relay_instance).ok
+        # optimal: S2 fetches from S0 (1), then S1 from S2 (1)
+        assert out.cost(relay_instance) == 2.0
+
+    def test_repoints_later_transfers(self, relay_instance):
+        base = Schedule([Transfer(1, 0, 0), Transfer(2, 0, 1)])
+        out = OP1ReorderTransfers().optimize(relay_instance, base)
+        transfers = out.transfers()
+        assert transfers[0] == Transfer(2, 0, 0)
+        assert transfers[1] == Transfer(1, 0, 2)
+
+    def test_already_optimal_untouched(self, relay_instance):
+        base = Schedule([Transfer(2, 0, 0), Transfer(1, 0, 2)])
+        out = OP1ReorderTransfers().optimize(relay_instance, base)
+        assert out == base
+
+
+class TestRestartPolicy:
+    def test_both_policies_valid_and_comparable(self, tight_instance):
+        base = get_builder("AR").build(tight_instance, rng=5)
+        restart = OP1ReorderTransfers(restart=True).optimize(
+            tight_instance, base
+        )
+        inplace = OP1ReorderTransfers(restart=False).optimize(
+            tight_instance, base
+        )
+        assert restart.validate(tight_instance).ok
+        assert inplace.validate(tight_instance).ok
+        base_cost = base.cost(tight_instance)
+        assert restart.cost(tight_instance) <= base_cost + 1e-9
+        assert inplace.cost(tight_instance) <= base_cost + 1e-9
+
+    def test_max_rounds_zero_noop(self, tight_instance):
+        base = get_builder("AR").build(tight_instance, rng=5)
+        out = OP1ReorderTransfers(max_rounds=0).optimize(tight_instance, base)
+        assert out == base
+
+
+class TestCapacityCases:
+    def test_hoists_enabling_deletions(self):
+        """Case (iv): moving the later transfer earlier requires hoisting
+        the deletions that made room for it."""
+        # S0 holds O0; S1 full with O1 (superfluous); S2 needs O0 too.
+        # good order: S1 deletes O1, fetches O0 cheaply, S2 fetches from S1.
+        x_old = np.array([[1, 0], [0, 1], [0, 0]], dtype=np.int8)
+        x_new = np.array([[1, 0], [1, 0], [1, 0]], dtype=np.int8)
+        costs = np.array(
+            [[0.0, 1.0, 10.0], [1.0, 0.0, 1.0], [10.0, 1.0, 0.0]]
+        )
+        inst = RtspInstance.create(
+            [1.0, 1.0], [1.0, 1.0, 1.0], costs, x_old, x_new
+        )
+        base = Schedule(
+            [
+                Transfer(2, 0, 0),  # expensive: cost 10
+                Delete(1, 1),
+                Transfer(1, 0, 0),  # cost 1
+            ]
+        )
+        assert base.validate(inst).ok
+        out = OP1ReorderTransfers().optimize(inst, base)
+        assert out.validate(inst).ok
+        # optimal: delete at S1, fetch S1<-S0 (1), then S2<-S1 (1)
+        assert out.cost(inst) == pytest.approx(2.0)
+
+    def test_dummy_moved_transfer_gets_real_source(self, tight_instance):
+        """OP1 may replace dummy sources as a side effect (paper §4.2)."""
+        base = get_builder("RDF").build(tight_instance, rng=2)
+        out = OP1ReorderTransfers().optimize(tight_instance, base)
+        assert out.count_dummy_transfers(tight_instance) <= base.count_dummy_transfers(
+            tight_instance
+        )

@@ -1,0 +1,133 @@
+"""Targeted tests for OP1's validity cases (paper §4.2 cases ii-iv)."""
+
+import numpy as np
+import pytest
+
+from repro.core.optimizers.op1 import OP1ReorderTransfers
+from repro.model.actions import Delete, Transfer
+from repro.model.instance import RtspInstance
+from repro.model.schedule import Schedule
+
+A, B = 0, 1
+
+
+def make_instance(x_old, x_new, capacities, costs):
+    return RtspInstance.create(
+        np.ones(np.asarray(x_old).shape[1]),
+        np.asarray(capacities, float),
+        np.asarray(costs, float),
+        np.asarray(x_old, dtype=np.int8),
+        np.asarray(x_new, dtype=np.int8),
+    )
+
+
+class TestCaseIiVoidMoves:
+    def test_duplicate_replica_rewrite_rejected(self):
+        """Moving a transfer before an identical-cell create/delete pair
+        would duplicate the replica; OP1 must drop that rewrite (case ii)
+        and leave a valid schedule behind."""
+        # S0 holds A; S1 cycles A in and out; S2 wants A.
+        inst = make_instance(
+            x_old=[[1], [0], [0]],
+            x_new=[[1], [0], [1]],
+            capacities=[1.0, 1.0, 1.0],
+            costs=[[0, 1, 5], [1, 0, 5], [5, 5, 0]],
+        )
+        base = Schedule(
+            [
+                Transfer(1, A, 0),
+                Transfer(2, A, 1),
+                Delete(1, A),
+            ]
+        )
+        assert base.validate(inst).ok
+        out = OP1ReorderTransfers().optimize(inst, base)
+        assert out.validate(inst).ok
+        assert out.cost(inst) <= base.cost(inst) + 1e-9
+
+
+class TestCaseIiiOutdatedSources:
+    def test_stranded_transfer_repointed_with_penalty(self):
+        """Hoisting the mover's enabling deletion strands a transfer that
+        used the deleted replica as source; OP1 re-points it (case iii)
+        and only accepts when the net benefit remains positive."""
+        # S3 holds B initially and serves it to S4 *after* S3 would have
+        # deleted B in the rewritten order.
+        inst = make_instance(
+            # S0:{A}, S3:{B}; X_new: A on S1,S2,S3; B on S4
+            x_old=[[1, 0], [0, 0], [0, 0], [0, 1], [0, 0]],
+            x_new=[[1, 0], [1, 0], [1, 0], [1, 0], [0, 1]],
+            capacities=[1.0, 1.0, 1.0, 1.0, 1.0],
+            costs=[
+                [0, 9, 9, 1, 9],
+                [9, 0, 1, 1, 9],
+                [9, 1, 0, 9, 9],
+                [1, 1, 9, 0, 2],
+                [9, 9, 9, 2, 0],
+            ],
+        )
+        base = Schedule(
+            [
+                Transfer(1, A, 0),      # expensive: 9
+                Transfer(4, B, 3),      # uses S3's replica of B
+                Delete(3, B),
+                Transfer(3, A, 0),      # cheap: 1; candidate to move up
+                Transfer(2, A, 1),
+            ]
+        )
+        assert base.validate(inst).ok
+        out = OP1ReorderTransfers().optimize(inst, base)
+        assert out.validate(inst).ok
+        assert out.cost(inst) <= base.cost(inst) + 1e-9
+
+    def test_all_rewrites_keep_final_state(self):
+        inst = make_instance(
+            x_old=[[1], [0], [0]],
+            x_new=[[1], [1], [1]],
+            capacities=[1.0, 1.0, 1.0],
+            costs=[[0, 10, 1], [10, 0, 1], [1, 1, 0]],
+        )
+        base = Schedule([Transfer(1, A, 0), Transfer(2, A, 1)])
+        out = OP1ReorderTransfers().optimize(inst, base)
+        assert out.replay(inst).matches(inst.x_new)
+
+
+class TestCaseIvCapacity:
+    def test_enabling_deletions_hoisted_with_move(self):
+        """The moved transfer's target freed space via deletions located
+        between the two transfers; OP1 hoists them with the move."""
+        inst = make_instance(
+            # S0:{A}, S1:{B}; X_new: A on S0,S1,S2
+            x_old=[[1, 0], [0, 1], [0, 0]],
+            x_new=[[1, 0], [1, 0], [1, 0]],
+            capacities=[1.0, 1.0, 1.0],
+            costs=[[0, 1, 10], [1, 0, 1], [10, 1, 0]],
+        )
+        base = Schedule(
+            [
+                Transfer(2, A, 0),  # expensive first copy: 10
+                Delete(1, B),
+                Transfer(1, A, 0),  # cheap: 1
+            ]
+        )
+        assert base.validate(inst).ok
+        out = OP1ReorderTransfers().optimize(inst, base)
+        assert out.validate(inst).ok
+        # optimal: delete B at S1 first, S1 <- S0 (1), S2 <- S1 (1)
+        assert out.cost(inst) == pytest.approx(2.0)
+        actions = out.actions()
+        assert actions.index(Delete(1, B)) < actions.index(Transfer(1, A, 0))
+
+    def test_rejects_when_benefit_insufficient(self):
+        """Moving early would force the moved transfer onto a costlier
+        source with no compensating re-point benefit: no change."""
+        inst = make_instance(
+            x_old=[[1], [0], [0]],
+            x_new=[[1], [1], [1]],
+            capacities=[1.0, 1.0, 1.0],
+            costs=[[0, 1, 1], [1, 0, 9], [1, 9, 0]],
+        )
+        # both targets already fetch from the cheap hub S0
+        base = Schedule([Transfer(1, A, 0), Transfer(2, A, 0)])
+        out = OP1ReorderTransfers().optimize(inst, base)
+        assert out == base

@@ -1,0 +1,157 @@
+"""Tests for the optimizer machinery (ArrayState, window replays)."""
+
+import numpy as np
+import pytest
+
+from repro.core.optimizers.common import (
+    ArrayState,
+    actions_cost,
+    blocking_transfer,
+    capture_states,
+    count_dummies,
+    deletion_positions_before,
+    is_standalone_deletion,
+    server_deletions_between,
+    window_replay_with_repairs,
+    window_valid,
+)
+from repro.model.actions import Delete, Transfer
+from repro.model.instance import RtspInstance
+from repro.model.state import SystemState
+
+
+@pytest.fixture
+def inst():
+    x_old = np.array([[1, 0], [0, 1], [0, 0]], dtype=np.int8)
+    x_new = np.array([[0, 0], [0, 1], [1, 0]], dtype=np.int8)
+    costs = np.array([[0.0, 1.0, 2.0], [1.0, 0.0, 1.0], [2.0, 1.0, 0.0]])
+    return RtspInstance.create([1.0, 1.0], [1.0, 1.0, 1.0], costs, x_old, x_new)
+
+
+class TestArrayState:
+    def test_mirrors_system_state_semantics(self, inst):
+        """ArrayState and SystemState agree on validity for a batch of
+        random action attempts."""
+        rng = np.random.default_rng(0)
+        heavy = SystemState(inst)
+        light = ArrayState(inst)
+        candidates = [
+            Transfer(2, 0, 0),
+            Transfer(2, 0, 1),
+            Transfer(0, 1, 1),
+            Transfer(2, 1, inst.dummy),
+            Delete(0, 0),
+            Delete(2, 0),
+            Transfer(inst.dummy, 0, 0),
+            Transfer(0, 0, 0),
+        ]
+        for _ in range(50):
+            a = candidates[int(rng.integers(0, len(candidates)))]
+            assert light.is_valid(a) == heavy.is_valid(a), str(a)
+            if light.is_valid(a):
+                light.apply(a)
+                heavy.apply(a)
+
+    def test_copy_independent(self, inst):
+        s = ArrayState(inst)
+        dup = s.copy()
+        s.apply(Delete(0, 0))
+        assert dup.holds(0, 0) and not s.holds(0, 0)
+
+    def test_nearest_matches_system_state(self, inst):
+        light = ArrayState(inst)
+        heavy = SystemState(inst)
+        for target in range(3):
+            for obj in range(2):
+                assert light.nearest(target, obj) == heavy.nearest(target, obj)
+
+    def test_nearest_exclude(self, inst):
+        light = ArrayState(inst)
+        assert light.nearest(2, 0, exclude=0) == inst.dummy
+
+    def test_try_apply(self, inst):
+        s = ArrayState(inst)
+        assert not s.try_apply(Transfer(2, 0, 1))
+        assert s.try_apply(Transfer(2, 0, 0))
+        assert s.holds(2, 0)
+
+
+class TestCaptureStates:
+    def test_snapshots_before_positions(self, inst):
+        actions = [Delete(0, 0), Transfer(2, 0, inst.dummy), Delete(2, 0)]
+        snaps = capture_states(inst, actions, [0, 1, 2])
+        assert snaps[0].holds(0, 0)
+        assert not snaps[1].holds(0, 0)
+        assert snaps[2].holds(2, 0)
+
+    def test_duplicate_positions_ok(self, inst):
+        actions = [Delete(0, 0)]
+        snaps = capture_states(inst, actions, [0, 0, 1])
+        assert set(snaps) == {0, 1}
+
+
+class TestWindowReplay:
+    def test_window_valid_accepts(self, inst):
+        start = ArrayState(inst)
+        assert window_valid(start, [Transfer(2, 0, 0), Delete(0, 0)])
+
+    def test_window_valid_rejects_and_preserves_start(self, inst):
+        start = ArrayState(inst)
+        assert not window_valid(start, [Delete(0, 0), Transfer(2, 0, 0)])
+        assert start.holds(0, 0)  # start state untouched
+
+    def test_repairs_broken_source(self, inst):
+        start = ArrayState(inst)
+        window = [Delete(0, 0), Transfer(2, 0, 0)]
+        repaired = window_replay_with_repairs(start, window)
+        assert repaired is not None
+        assert repaired[1] == Transfer(2, 0, inst.dummy)
+
+    def test_unrepairable_returns_none(self, inst):
+        start = ArrayState(inst)
+        # deleting an absent replica cannot be repaired
+        assert window_replay_with_repairs(start, [Delete(2, 0)]) is None
+
+    def test_repair_budget(self, inst):
+        start = ArrayState(inst)
+        window = [Delete(0, 0), Transfer(2, 0, 0)]
+        assert window_replay_with_repairs(start, window, max_repairs=0) is None
+
+
+class TestAccounting:
+    def test_actions_cost(self, inst):
+        actions = [Transfer(2, 0, 0), Delete(0, 0), Transfer(0, 1, 1)]
+        assert actions_cost(inst, actions) == 2.0 + 1.0
+
+    def test_count_dummies(self, inst):
+        actions = [Transfer(2, 0, inst.dummy), Transfer(0, 1, 1)]
+        assert count_dummies(inst, actions) == 1
+
+
+class TestStructureQueries:
+    def test_deletion_positions_before_nearest_first(self):
+        actions = [Delete(0, 5), Transfer(1, 5, 0), Delete(2, 5), Delete(1, 6)]
+        assert deletion_positions_before(actions, 4, 5) == [2, 0]
+
+    def test_server_deletions_between_exclusive(self):
+        actions = [Delete(1, 0), Delete(1, 1), Delete(1, 2), Delete(1, 3)]
+        assert server_deletions_between(actions, 0, 3, 1) == [1, 2]
+
+    def test_standalone_detection(self):
+        # deletion fed by a transfer sourcing from its server: not standalone
+        actions = [Transfer(2, 7, 1), Delete(1, 7)]
+        assert not is_standalone_deletion(actions, 0, 1)
+        # creation at the server: not standalone either
+        actions = [Transfer(1, 7, 2), Delete(1, 7)]
+        assert not is_standalone_deletion(actions, 0, 1)
+        # unrelated actions: standalone
+        actions = [Transfer(2, 8, 0), Delete(1, 7)]
+        assert is_standalone_deletion(actions, 0, 1)
+
+    def test_blocking_transfer_found(self):
+        actions = [Transfer(2, 7, 1), Delete(1, 7)]
+        assert blocking_transfer(actions, 0, 1) == 0
+
+    def test_blocking_transfer_absent(self):
+        actions = [Transfer(1, 7, 2), Delete(1, 7)]
+        assert blocking_transfer(actions, 0, 1) is None

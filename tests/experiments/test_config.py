@@ -1,0 +1,66 @@
+"""Tests for experiment configuration."""
+
+import pytest
+
+from repro.experiments.config import (
+    SCALES,
+    ExperimentScale,
+    FigureSpec,
+    get_scale,
+)
+from repro.util.errors import ConfigurationError
+
+
+class TestScales:
+    def test_builtin_scales_present(self):
+        assert {"small", "medium", "paper"} <= set(SCALES)
+
+    def test_paper_scale_matches_paper(self):
+        paper = SCALES["paper"]
+        assert paper.num_servers == 50
+        assert paper.num_objects == 1000
+
+    def test_get_scale(self):
+        assert get_scale("small").name == "small"
+
+    def test_unknown_scale(self):
+        with pytest.raises(ConfigurationError):
+            get_scale("galactic")
+
+    def test_scaled_servers(self):
+        scale = ExperimentScale("t", 50, 100, 1)
+        assert scale.scaled_servers(0.2) == 10
+        assert scale.scaled_servers(1.0) == 50
+        assert scale.scaled_servers(0.0) == 0
+
+
+class TestFigureSpec:
+    def _spec(self, **overrides):
+        kwargs = dict(
+            figure_id="figX",
+            title="t",
+            x_label="x",
+            y_label="y",
+            metric="cost",
+            pipelines=["GOLCF"],
+            x_values=[1, 2],
+            make_instance=lambda x, scale, seed: None,
+            workload_key="k",
+        )
+        kwargs.update(overrides)
+        return FigureSpec(**kwargs)
+
+    def test_valid_spec(self):
+        assert self._spec().figure_id == "figX"
+
+    def test_bad_metric(self):
+        with pytest.raises(ConfigurationError):
+            self._spec(metric="latency")
+
+    def test_empty_pipelines(self):
+        with pytest.raises(ConfigurationError):
+            self._spec(pipelines=[])
+
+    def test_empty_x_values(self):
+        with pytest.raises(ConfigurationError):
+            self._spec(x_values=[])

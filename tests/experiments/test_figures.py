@@ -1,0 +1,84 @@
+"""Tests for the figure specifications."""
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.figures import FIGURES, get_figure
+from repro.util.errors import ConfigurationError
+
+TINY = ExperimentScale("tiny", num_servers=6, num_objects=12, repetitions=1)
+
+
+class TestRegistry:
+    def test_all_six_figures_present(self):
+        assert set(FIGURES) == {f"fig{i}" for i in range(4, 10)}
+
+    def test_lookup_by_number(self):
+        assert get_figure("4").figure_id == "fig4"
+        assert get_figure("fig7").figure_id == "fig7"
+        assert get_figure("FIG9").figure_id == "fig9"
+
+    def test_unknown_figure(self):
+        with pytest.raises(ConfigurationError):
+            get_figure("fig99")
+
+
+class TestSpecsMatchPaper:
+    def test_metrics(self):
+        assert FIGURES["fig4"].metric == "dummy_transfers"
+        assert FIGURES["fig5"].metric == "cost"
+        assert FIGURES["fig6"].metric == "dummy_transfers"
+        assert FIGURES["fig7"].metric == "cost"
+        assert FIGURES["fig8"].metric == "dummy_transfers"
+        assert FIGURES["fig9"].metric == "cost"
+
+    def test_experiment1_sweeps_replicas(self):
+        assert FIGURES["fig4"].x_values == [1, 2, 3, 4, 5]
+        assert FIGURES["fig5"].x_values == [1, 2, 3, 4, 5]
+
+    def test_experiment3_sweeps_slack(self):
+        assert FIGURES["fig8"].x_values[0] == 0.0
+        assert FIGURES["fig8"].x_values[-1] == 1.0
+
+    def test_paired_figures_share_workloads(self):
+        assert FIGURES["fig4"].workload_key == FIGURES["fig5"].workload_key
+        assert FIGURES["fig6"].workload_key == FIGURES["fig7"].workload_key
+        assert FIGURES["fig8"].workload_key == FIGURES["fig9"].workload_key
+        assert FIGURES["fig4"].workload_key != FIGURES["fig6"].workload_key
+
+    def test_winner_pipeline_in_every_cost_figure(self):
+        for fid in ("fig5", "fig7", "fig9"):
+            assert "GOLCF+H1+H2+OP1" in FIGURES[fid].pipelines
+
+    def test_fig6_is_golcf_variants_only(self):
+        assert all(p.startswith("GOLCF") for p in FIGURES["fig6"].pipelines)
+
+
+class TestInstanceFactories:
+    @pytest.mark.parametrize("fid", sorted(FIGURES))
+    def test_factories_produce_feasible_instances(self, fid):
+        spec = FIGURES[fid]
+        x = spec.x_values[0]
+        inst = spec.make_instance(x, TINY, seed=42)
+        inst.check_feasible()
+        assert inst.num_servers == TINY.num_servers
+        assert inst.num_objects == TINY.num_objects
+
+    def test_equal_size_figures(self):
+        inst = FIGURES["fig4"].make_instance(2, TINY, seed=1)
+        assert len(set(inst.sizes.tolist())) == 1
+
+    def test_uniform_size_figures(self):
+        inst = FIGURES["fig6"].make_instance(2, TINY, seed=1)
+        assert len(set(inst.sizes.tolist())) > 1
+
+    def test_fig8_slack_grows_with_x(self):
+        lo = FIGURES["fig8"].make_instance(0.0, TINY, seed=2)
+        hi = FIGURES["fig8"].make_instance(1.0, TINY, seed=2)
+        assert hi.capacities.sum() > lo.capacities.sum()
+
+    def test_same_seed_same_workload_across_paired_figures(self):
+        a = FIGURES["fig4"].make_instance(2, TINY, seed=3)
+        b = FIGURES["fig5"].make_instance(2, TINY, seed=3)
+        assert (a.x_old == b.x_old).all()
+        assert (a.x_new == b.x_new).all()

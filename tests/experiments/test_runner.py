@@ -1,0 +1,83 @@
+"""Tests for the experiment runner."""
+
+import pytest
+
+from repro.experiments.config import ExperimentScale, FigureSpec
+from repro.experiments.runner import CellResult, FigureResult, run_figure
+from repro.workloads.regular import paper_instance
+
+TINY = ExperimentScale("tiny", num_servers=6, num_objects=12, repetitions=2)
+
+
+def tiny_spec(metric="cost", pipelines=None, x_values=None):
+    return FigureSpec(
+        figure_id="figT",
+        title="tiny",
+        x_label="r",
+        y_label="y",
+        metric=metric,
+        pipelines=pipelines or ["AR", "GOLCF"],
+        x_values=x_values or [1, 2],
+        make_instance=lambda x, scale, seed: paper_instance(
+            replicas=int(x),
+            num_servers=scale.num_servers,
+            num_objects=scale.num_objects,
+            rng=seed,
+        ),
+        workload_key="tiny-test",
+    )
+
+
+class TestRunFigure:
+    def test_cell_coverage(self):
+        result = run_figure(tiny_spec(), TINY)
+        assert len(result.cells) == 2 * 2  # x values x pipelines
+        assert {c.pipeline for c in result.cells} == {"AR", "GOLCF"}
+
+    def test_repetitions_recorded(self):
+        result = run_figure(tiny_spec(), TINY)
+        assert all(len(c.values) == 2 for c in result.cells)
+
+    def test_repetition_override(self):
+        result = run_figure(tiny_spec(), TINY, repetitions=1)
+        assert all(len(c.values) == 1 for c in result.cells)
+
+    def test_deterministic(self):
+        a = run_figure(tiny_spec(), TINY)
+        b = run_figure(tiny_spec(), TINY)
+        for ca, cb in zip(a.cells, b.cells):
+            assert ca.values == cb.values
+
+    def test_series_ordering(self):
+        result = run_figure(tiny_spec(), TINY)
+        series = result.series("GOLCF")
+        assert len(series) == 2
+        assert series[0] == result.cell(1, "GOLCF").mean
+
+    def test_cell_lookup_missing(self):
+        result = run_figure(tiny_spec(), TINY)
+        with pytest.raises(KeyError):
+            result.cell(99, "GOLCF")
+
+    def test_progress_callback(self):
+        lines = []
+        run_figure(tiny_spec(), TINY, progress=lines.append)
+        assert len(lines) == 4
+        assert all("figT" in line for line in lines)
+
+    def test_dummy_metric(self):
+        result = run_figure(tiny_spec(metric="dummy_transfers"), TINY)
+        for c in result.cells:
+            assert all(v == int(v) and v >= 0 for v in c.values)
+
+    def test_timing_recorded(self):
+        result = run_figure(tiny_spec(), TINY)
+        assert result.seconds > 0
+        assert all(c.seconds >= 0 for c in result.cells)
+
+
+class TestCellResult:
+    def test_mean_std(self):
+        cell = CellResult(x=1, pipeline="p", values=[2.0, 4.0], seconds=0.0)
+        assert cell.mean == 3.0
+        assert cell.std == 1.0

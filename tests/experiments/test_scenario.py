@@ -1,0 +1,56 @@
+"""Tests for the multi-epoch scenario runner."""
+
+import pytest
+
+from repro.experiments.scenario import ScenarioResult, run_scenario
+from repro.workloads.video import VideoRotationModel
+
+
+@pytest.fixture(scope="module")
+def result():
+    model = VideoRotationModel(
+        num_servers=8, num_movies=30, capacity_movies=6, rng=7
+    )
+    return run_scenario(model.days(3), ["RDF", "GOLCF+H1+H2"], base_seed=1)
+
+
+class TestRunScenario:
+    def test_cell_coverage(self, result):
+        assert len(result.epochs) == 3 * 2
+        assert {e.pipeline for e in result.epochs} == {"RDF", "GOLCF+H1+H2"}
+        assert {e.epoch for e in result.epochs} == {0, 1, 2}
+
+    def test_series_in_epoch_order(self, result):
+        series = result.series("RDF")
+        assert len(series) == 3
+        assert all(v >= 0 for v in series)
+
+    def test_total_is_series_sum(self, result):
+        assert result.total("RDF") == pytest.approx(sum(result.series("RDF")))
+
+    def test_winner_saves_over_baseline(self, result):
+        saving = result.savings("GOLCF+H1+H2", baseline="RDF")
+        assert 0.0 < saving < 1.0
+
+    def test_dummy_metric(self, result):
+        rdf = result.total("RDF", "num_dummy_transfers")
+        winner = result.total("GOLCF+H1+H2", "num_dummy_transfers")
+        assert winner <= rdf
+
+    def test_summary_lists_all_pipelines(self, result):
+        text = result.summary()
+        assert "RDF" in text and "GOLCF+H1+H2" in text
+
+    def test_deterministic(self):
+        def make():
+            model = VideoRotationModel(
+                num_servers=8, num_movies=30, capacity_movies=6, rng=7
+            )
+            return run_scenario(model.days(2), ["GOLCF"], base_seed=5)
+
+        a, b = make(), make()
+        assert a.series("GOLCF") == b.series("GOLCF")
+
+    def test_zero_baseline_savings(self):
+        result = ScenarioResult(pipelines=["X"])
+        assert result.savings("X", baseline="X") == 0.0

@@ -1,0 +1,116 @@
+"""Integration: the paper's qualitative figure shapes hold at small scale.
+
+These are the claims §5.2 makes about Figures 4–9, checked on the small
+harness scale (20 servers / 100 objects, 3 repetitions). Absolute values
+differ from the paper (different topology draw, smaller N); the *shape*
+— who wins, and which direction curves move — is what we assert.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import SCALES, ExperimentScale
+from repro.experiments.figures import FIGURES
+from repro.experiments.runner import run_figure
+
+SCALE = ExperimentScale("shape-test", num_servers=15, num_objects=60,
+                        repetitions=3)
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return run_figure(FIGURES["fig4"], SCALE)
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return run_figure(FIGURES["fig5"], SCALE)
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return run_figure(FIGURES["fig8"], SCALE)
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    return run_figure(FIGURES["fig9"], SCALE)
+
+
+class TestFig4Shape:
+    def test_dummies_drop_as_replicas_increase(self, fig4):
+        """More replicas => fewer chances to destroy the last source."""
+        for pipeline in ("AR", "GOLCF"):
+            series = fig4.series(pipeline)
+            assert series[0] > series[-1]
+
+    def test_h1_h2_reduce_dummies_everywhere(self, fig4):
+        for base in ("AR", "GOLCF"):
+            base_series = fig4.series(base)
+            opt_series = fig4.series(f"{base}+H1+H2")
+            assert all(o <= b + 1e-9 for o, b in zip(opt_series, base_series))
+
+    def test_h1_h2_nearly_nullify_dummies_at_two_replicas(self, fig4):
+        """The paper's headline observation on Fig. 4."""
+        r2 = fig4.spec.x_values.index(2)
+        assert fig4.series("AR+H1+H2")[r2] <= 1.0
+        assert fig4.series("GOLCF+H1+H2")[r2] <= 1.0
+
+    def test_substantial_dummies_without_h1h2_at_r1(self, fig4):
+        assert fig4.series("AR")[0] > 5
+        assert fig4.series("GOLCF")[0] > 5
+
+
+class TestFig5Shape:
+    def test_winner_is_cheapest_everywhere(self, fig5):
+        winner = fig5.series("GOLCF+H1+H2+OP1")
+        for other in ("AR", "GOLCF", "GOLCF+OP1"):
+            series = fig5.series(other)
+            assert all(w <= o + 1e-9 for w, o in zip(winner, series))
+
+    def test_golcf_beats_ar(self, fig5):
+        golcf = fig5.series("GOLCF")
+        ar = fig5.series("AR")
+        assert np.mean(golcf) < np.mean(ar)
+
+    def test_h1h2_gap_shrinks_with_replicas(self, fig5):
+        """Savings from H1+H2 come from removed dummies, which vanish as
+        replicas increase."""
+        base = np.array(fig5.series("GOLCF+OP1"))
+        winner = np.array(fig5.series("GOLCF+H1+H2+OP1"))
+        savings = (base - winner) / base
+        assert savings[0] > savings[-1] - 1e-9
+
+
+class TestFig8Shape:
+    def test_h1h2_exploit_slack(self, fig8):
+        """Dummies with H1+H2 drop as more servers gain extra capacity."""
+        series = fig8.series("GOLCF+H1+H2")
+        assert series[-1] <= series[0]
+        assert series[-1] <= 1.0  # near zero at full slack
+
+    def test_plain_golcf_mostly_flat(self, fig8):
+        """Standalone GOLCF cannot exploit slack much (its plot is almost
+        flat in the paper)."""
+        series = np.array(fig8.series("GOLCF"))
+        h1h2 = np.array(fig8.series("GOLCF+H1+H2"))
+        # GOLCF's relative improvement from slack is much smaller than the
+        # gap to the H1+H2 curve
+        assert series.min() >= h1h2.max() - 1e-9
+
+    def test_h1h2_below_golcf_everywhere(self, fig8):
+        golcf = fig8.series("GOLCF")
+        h1h2 = fig8.series("GOLCF+H1+H2")
+        assert all(h <= g + 1e-9 for h, g in zip(h1h2, golcf))
+
+
+class TestFig9Shape:
+    def test_winner_cheaper_at_every_slack_level(self, fig9):
+        base = fig9.series("GOLCF+OP1")
+        winner = fig9.series("GOLCF+H1+H2+OP1")
+        assert all(w <= b + 1e-9 for w, b in zip(winner, base))
+
+    def test_winner_strictly_cheaper_somewhere(self, fig9):
+        base = np.array(fig9.series("GOLCF+OP1"))
+        winner = np.array(fig9.series("GOLCF+H1+H2+OP1"))
+        assert (winner < base - 1e-9).any()

@@ -1,0 +1,84 @@
+"""Integration: the motivating end-to-end scenarios.
+
+Mirrors the examples as assertions: the video-server rotation (§2.1) and
+a CDN flash-crowd rebalance, both driving the full pipeline stack through
+the placement substrate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import build_pipeline
+from repro.model.instance import RtspInstance
+from repro.network import cost_matrix_from_topology, waxman_topology
+from repro.placement import access_cost, greedy_placement
+from repro.workloads import VideoRotationModel, zipf_weights
+from repro.workloads.zipf import sample_requests
+
+
+class TestVideoRotation:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return VideoRotationModel(
+            num_servers=10, num_movies=40, capacity_movies=8,
+            drift=0.15, releases_per_day=2, rng=42,
+        )
+
+    def test_week_of_valid_transitions(self, model):
+        naive_total, winner_total = 0.0, 0.0
+        for day, instance in enumerate(model.days(5)):
+            naive = build_pipeline("RDF").run(instance, rng=day)
+            winner = build_pipeline("GOLCF+H1+H2+OP1").run(instance, rng=day)
+            assert naive.validate(instance).ok
+            assert winner.validate(instance).ok
+            naive_total += naive.cost(instance)
+            winner_total += winner.cost(instance)
+        # the winner pipeline must clearly beat naive scheduling over a week
+        assert winner_total < 0.8 * naive_total
+
+    def test_churn_is_nonzero_every_day(self, model):
+        for instance in model.days(3):
+            outstanding, _ = instance.diff_counts()
+            assert outstanding > 0
+
+
+class TestCdnRebalance:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        rng = np.random.default_rng(5)
+        topo = waxman_topology(15, alpha=0.6, beta=0.3, rng=rng)
+        costs = cost_matrix_from_topology(topo)
+        n = 40
+        sizes = np.full(n, 100.0)
+        capacities = np.full(15, 8 * 100.0)
+        weights = zipf_weights(n, 0.9)
+        demand_old = sample_requests(weights, 20_000, 15, rng=rng).astype(float)
+        x_old = greedy_placement(costs, sizes, capacities, demand_old, rng=rng)
+        demand_new = demand_old.copy()
+        crowd = rng.choice(15, size=4, replace=False)
+        for pop in crowd:
+            demand_new[pop] = demand_new[pop][rng.permutation(n)] * 6.0
+        x_new = greedy_placement(costs, sizes, capacities, demand_new, rng=rng)
+        instance = RtspInstance.create(sizes, capacities, costs, x_old, x_new)
+        return instance, costs, sizes, demand_new, x_new
+
+    def test_placement_actually_improves_access_cost(self, scenario):
+        instance, costs, sizes, demand_new, x_new = scenario
+        before = access_cost(instance.x_old, costs, sizes, demand_new)
+        after = access_cost(x_new, costs, sizes, demand_new)
+        assert after < before
+
+    def test_transition_schedulable_by_every_pipeline(self, scenario):
+        instance = scenario[0]
+        for spec in ("RDF", "AR", "GOLCF", "GMC", "GOLCF+H1+H2+OP1"):
+            schedule = build_pipeline(spec).run(instance, rng=0)
+            assert schedule.validate(instance).ok, spec
+
+    def test_winner_dominates_naive(self, scenario):
+        instance = scenario[0]
+        naive = build_pipeline("RDF").run(instance, rng=1)
+        winner = build_pipeline("GOLCF+H1+H2+OP1").run(instance, rng=1)
+        assert winner.cost(instance) < naive.cost(instance)
+        assert winner.count_dummy_transfers(
+            instance
+        ) <= naive.count_dummy_transfers(instance)

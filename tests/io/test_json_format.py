@@ -1,0 +1,103 @@
+"""Tests for JSON serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import build_pipeline
+from repro.io import (
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    load_schedule,
+    save_instance,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.model.actions import Delete, Transfer
+from repro.model.schedule import Schedule
+from repro.util.errors import ConfigurationError
+from repro.workloads.regular import paper_instance
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return paper_instance(replicas=2, num_servers=6, num_objects=12, rng=1)
+
+
+@pytest.fixture(scope="module")
+def schedule(instance):
+    return build_pipeline("GOLCF+H1+H2").run(instance, rng=0)
+
+
+class TestInstanceRoundTrip:
+    def test_dict_round_trip(self, instance):
+        restored = instance_from_dict(instance_to_dict(instance))
+        assert (restored.x_old == instance.x_old).all()
+        assert (restored.x_new == instance.x_new).all()
+        assert np.allclose(restored.costs, instance.costs)
+        assert np.allclose(restored.sizes, instance.sizes)
+        assert np.allclose(restored.capacities, instance.capacities)
+
+    def test_file_round_trip(self, instance, tmp_path):
+        path = tmp_path / "instance.json"
+        save_instance(instance, path)
+        restored = load_instance(path)
+        assert (restored.x_new == instance.x_new).all()
+
+    def test_json_serialisable(self, instance):
+        json.dumps(instance_to_dict(instance))  # no numpy leakage
+
+    def test_format_tag_checked(self, instance):
+        data = instance_to_dict(instance)
+        data["format"] = "something-else"
+        with pytest.raises(ConfigurationError, match="format"):
+            instance_from_dict(data)
+
+    def test_missing_key(self, instance):
+        data = instance_to_dict(instance)
+        del data["sizes"]
+        with pytest.raises(ConfigurationError, match="missing"):
+            instance_from_dict(data)
+
+    def test_revalidates_feasibility(self, instance):
+        data = instance_to_dict(instance)
+        data["capacities"] = [0.0] * instance.num_servers
+        with pytest.raises(Exception):
+            instance_from_dict(data)
+
+
+class TestScheduleRoundTrip:
+    def test_dict_round_trip(self, schedule):
+        restored = schedule_from_dict(schedule_to_dict(schedule))
+        assert restored == schedule
+
+    def test_file_round_trip(self, schedule, instance, tmp_path):
+        path = tmp_path / "schedule.json"
+        save_schedule(schedule, path)
+        restored = load_schedule(path)
+        assert restored == schedule
+        assert restored.validate(instance).ok
+
+    def test_compact_rows(self):
+        s = Schedule([Transfer(1, 2, 3), Delete(4, 5)])
+        data = schedule_to_dict(s)
+        assert data["actions"] == [["T", 1, 2, 3], ["D", 4, 5]]
+
+    def test_format_tag_checked(self):
+        with pytest.raises(ConfigurationError, match="format"):
+            schedule_from_dict({"format": "nope", "actions": []})
+
+    @pytest.mark.parametrize(
+        "row",
+        [[], ["X", 1, 2], ["T", 1, 2], ["D", 1, 2, 3]],
+    )
+    def test_malformed_rows(self, row):
+        with pytest.raises(ConfigurationError):
+            schedule_from_dict({"format": "rtsp-schedule/1", "actions": [row]})
+
+    def test_empty_schedule(self):
+        restored = schedule_from_dict(schedule_to_dict(Schedule()))
+        assert len(restored) == 0

@@ -1,0 +1,55 @@
+"""Tests for the action value objects."""
+
+import pytest
+
+from repro.model.actions import Delete, Transfer, is_delete, is_transfer
+
+
+class TestTransfer:
+    def test_fields(self):
+        t = Transfer(target=1, obj=2, source=3)
+        assert (t.target, t.obj, t.source) == (1, 2, 3)
+
+    def test_immutability(self):
+        t = Transfer(1, 2, 3)
+        with pytest.raises(AttributeError):
+            t.target = 5
+
+    def test_value_equality(self):
+        assert Transfer(1, 2, 3) == Transfer(1, 2, 3)
+        assert Transfer(1, 2, 3) != Transfer(1, 2, 4)
+
+    def test_hashable(self):
+        assert len({Transfer(1, 2, 3), Transfer(1, 2, 3)}) == 1
+
+    def test_with_source(self):
+        t = Transfer(1, 2, 3)
+        t2 = t.with_source(9)
+        assert t2 == Transfer(1, 2, 9)
+        assert t == Transfer(1, 2, 3)  # original untouched
+
+    def test_str(self):
+        assert str(Transfer(1, 2, 3)) == "T(1,2,3)"
+
+
+class TestDelete:
+    def test_fields(self):
+        d = Delete(server=4, obj=5)
+        assert (d.server, d.obj) == (4, 5)
+
+    def test_value_equality(self):
+        assert Delete(1, 2) == Delete(1, 2)
+        assert Delete(1, 2) != Delete(2, 1)
+
+    def test_str(self):
+        assert str(Delete(4, 5)) == "D(4,5)"
+
+
+class TestPredicates:
+    def test_is_transfer(self):
+        assert is_transfer(Transfer(0, 0, 1))
+        assert not is_transfer(Delete(0, 0))
+
+    def test_is_delete(self):
+        assert is_delete(Delete(0, 0))
+        assert not is_delete(Transfer(0, 0, 1))

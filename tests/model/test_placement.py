@@ -1,0 +1,98 @@
+"""Tests for replication-matrix helpers."""
+
+import numpy as np
+import pytest
+
+from repro.model.placement import (
+    diff_counts,
+    loads,
+    outstanding_mask,
+    overlap_fraction,
+    placement_fits,
+    replica_counts,
+    superfluous_mask,
+)
+
+
+@pytest.fixture
+def pair():
+    x_old = np.array([[1, 1, 0], [0, 1, 1]], dtype=np.int8)
+    x_new = np.array([[1, 0, 1], [0, 1, 0]], dtype=np.int8)
+    return x_old, x_new
+
+
+class TestLoads:
+    def test_weighted_sum(self):
+        x = np.array([[1, 0, 1], [0, 1, 0]], dtype=np.int8)
+        sizes = np.array([2.0, 3.0, 5.0])
+        assert loads(x, sizes).tolist() == [7.0, 3.0]
+
+    def test_mismatched_sizes(self):
+        with pytest.raises(ValueError):
+            loads(np.zeros((2, 3), dtype=np.int8), np.ones(2))
+
+
+class TestPlacementFits:
+    def test_fits(self):
+        x = np.array([[1, 1]], dtype=np.int8)
+        assert placement_fits(x, np.array([1.0, 2.0]), np.array([3.0]))
+
+    def test_does_not_fit(self):
+        x = np.array([[1, 1]], dtype=np.int8)
+        assert not placement_fits(x, np.array([2.0, 2.0]), np.array([3.0]))
+
+    def test_exact_fit_with_tolerance(self):
+        x = np.array([[1]], dtype=np.int8)
+        assert placement_fits(x, np.array([3.0]), np.array([3.0]))
+
+    def test_mismatched_capacities(self):
+        with pytest.raises(ValueError):
+            placement_fits(np.zeros((2, 1), dtype=np.int8), np.ones(1), np.ones(3))
+
+
+class TestMasks:
+    def test_outstanding(self, pair):
+        x_old, x_new = pair
+        assert outstanding_mask(x_old, x_new).tolist() == [[0, 0, 1], [0, 0, 0]]
+
+    def test_superfluous(self, pair):
+        x_old, x_new = pair
+        assert superfluous_mask(x_old, x_new).tolist() == [[0, 1, 0], [0, 0, 1]]
+
+    def test_diff_counts(self, pair):
+        assert diff_counts(*pair) == (1, 2)
+
+    def test_identical_schemes(self):
+        x = np.eye(3, dtype=np.int8)
+        assert diff_counts(x, x) == (0, 0)
+
+    def test_shape_mismatch(self, pair):
+        with pytest.raises(ValueError):
+            outstanding_mask(pair[0], np.zeros((3, 3), dtype=np.int8))
+
+
+class TestOverlap:
+    def test_zero_overlap(self):
+        x_old = np.array([[1, 0], [0, 1]], dtype=np.int8)
+        x_new = np.array([[0, 1], [1, 0]], dtype=np.int8)
+        assert overlap_fraction(x_old, x_new) == 0.0
+
+    def test_full_overlap(self):
+        x = np.array([[1, 0], [0, 1]], dtype=np.int8)
+        assert overlap_fraction(x, x) == 1.0
+
+    def test_half_overlap(self, pair):
+        x_old, x_new = pair
+        # X_new has 3 replicas; 2 shared with X_old
+        assert overlap_fraction(x_old, x_new) == pytest.approx(2 / 3)
+
+    def test_empty_new_scheme(self):
+        x_old = np.array([[1]], dtype=np.int8)
+        x_new = np.array([[0]], dtype=np.int8)
+        assert overlap_fraction(x_old, x_new) == 1.0
+
+
+class TestReplicaCounts:
+    def test_column_sums(self, pair):
+        x_old, _ = pair
+        assert replica_counts(x_old).tolist() == [1, 2, 1]

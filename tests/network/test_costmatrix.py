@@ -1,0 +1,93 @@
+"""Tests for cost-matrix construction and the dummy-server extension."""
+
+import numpy as np
+import pytest
+
+from repro.network.costmatrix import (
+    cost_matrix_from_topology,
+    dummy_link_cost,
+    extend_with_dummy,
+    strip_dummy,
+    uniform_cost_matrix,
+)
+from repro.network.topology import Topology
+from repro.util.errors import ConfigurationError
+
+
+class TestCostMatrixFromTopology:
+    def test_shortest_path_costs(self):
+        t = Topology(3, [(0, 1, 2.0), (1, 2, 3.0)])
+        mat = cost_matrix_from_topology(t)
+        assert mat[0, 2] == 5.0
+
+    def test_disconnected_rejected(self):
+        t = Topology(3, [(0, 1, 1.0)])
+        with pytest.raises(ConfigurationError):
+            cost_matrix_from_topology(t)
+
+
+class TestUniformCostMatrix:
+    def test_structure(self):
+        mat = uniform_cost_matrix(3, cost=4.0)
+        assert mat[0, 1] == 4.0
+        assert (np.diagonal(mat) == 0).all()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            uniform_cost_matrix(0)
+
+
+class TestDummyLinkCost:
+    def test_formula(self):
+        costs = np.array([[0.0, 3.0], [3.0, 0.0]])
+        assert dummy_link_cost(costs, a=1.0) == 4.0
+        assert dummy_link_cost(costs, a=2.0) == 8.0
+
+    def test_sub_one_constant_allowed(self):
+        costs = np.array([[0.0, 3.0], [3.0, 0.0]])
+        assert dummy_link_cost(costs, a=0.5) == 2.0
+
+    def test_nonpositive_constant_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dummy_link_cost(np.zeros((2, 2)), a=0.0)
+
+
+class TestExtendStrip:
+    def test_extend_shape_and_values(self):
+        costs = uniform_cost_matrix(3, cost=2.0)
+        ext = extend_with_dummy(costs, a=1.0)
+        assert ext.shape == (4, 4)
+        assert (ext[3, :3] == 3.0).all()
+        assert (ext[:3, 3] == 3.0).all()
+        assert ext[3, 3] == 0.0
+
+    def test_dummy_is_strictly_most_expensive(self):
+        costs = uniform_cost_matrix(4, cost=7.0)
+        ext = extend_with_dummy(costs)
+        assert ext[4, 0] > costs.max()
+
+    def test_strip_roundtrip(self):
+        costs = uniform_cost_matrix(3, cost=2.0)
+        ext = extend_with_dummy(costs, a=1.5)
+        plain, dummy = strip_dummy(ext)
+        assert np.allclose(plain, costs)
+        assert dummy == 4.5
+
+    def test_extend_rejects_asymmetric(self):
+        with pytest.raises(ConfigurationError):
+            extend_with_dummy(np.array([[0.0, 1.0], [2.0, 0.0]]))
+
+    def test_extend_rejects_nonzero_diagonal(self):
+        with pytest.raises(ConfigurationError):
+            extend_with_dummy(np.array([[1.0, 2.0], [2.0, 1.0]]))
+
+    def test_strip_rejects_non_uniform_last_row(self):
+        bad = np.array(
+            [[0.0, 1.0, 5.0], [1.0, 0.0, 6.0], [5.0, 6.0, 0.0]]
+        )
+        with pytest.raises(ConfigurationError):
+            strip_dummy(bad)
+
+    def test_strip_rejects_tiny(self):
+        with pytest.raises(ConfigurationError):
+            strip_dummy(np.zeros((1, 1)))

@@ -1,0 +1,113 @@
+"""Tests for the reference topology generators."""
+
+import pytest
+
+from repro.network.generators import (
+    complete_topology,
+    erdos_renyi_topology,
+    grid_topology,
+    line_topology,
+    random_tree_topology,
+    ring_topology,
+    star_topology,
+    waxman_topology,
+)
+from repro.util.errors import ConfigurationError
+
+
+class TestStar:
+    def test_structure(self):
+        t = star_topology(6, rng=0)
+        assert t.num_links == 5
+        assert t.degree(0) == 5
+        assert all(t.degree(v) == 1 for v in range(1, 6))
+
+    def test_too_small(self):
+        with pytest.raises(ConfigurationError):
+            star_topology(1)
+
+
+class TestLineAndRing:
+    def test_line(self):
+        t = line_topology(5, rng=0)
+        assert t.num_links == 4
+        assert t.degree(0) == 1 and t.degree(4) == 1
+        assert t.degree(2) == 2
+
+    def test_ring(self):
+        t = ring_topology(5, rng=0)
+        assert t.num_links == 5
+        assert all(t.degree(v) == 2 for v in range(5))
+
+    def test_ring_too_small(self):
+        with pytest.raises(ConfigurationError):
+            ring_topology(2)
+
+
+class TestGrid:
+    def test_structure(self):
+        t = grid_topology(3, 4, rng=0)
+        assert t.num_nodes == 12
+        # 3 rows x 3 horizontal + 2 x 4 vertical = 9 + 8
+        assert t.num_links == 17
+        assert t.is_connected()
+
+    def test_corner_degree(self):
+        t = grid_topology(3, 3, rng=0)
+        assert t.degree(0) == 2  # corner
+        assert t.degree(4) == 4  # centre
+
+    def test_single_row(self):
+        t = grid_topology(1, 5, rng=0)
+        assert t.num_links == 4
+
+
+class TestComplete:
+    def test_structure(self):
+        t = complete_topology(5, rng=0)
+        assert t.num_links == 10
+        assert all(t.degree(v) == 4 for v in range(5))
+
+
+class TestRandomTree:
+    def test_is_tree(self):
+        t = random_tree_topology(40, rng=0)
+        assert t.is_tree()
+
+    def test_deterministic(self):
+        a = sorted(random_tree_topology(20, rng=5).edges())
+        b = sorted(random_tree_topology(20, rng=5).edges())
+        assert a == b
+
+
+class TestErdosRenyi:
+    def test_connected_by_default(self):
+        t = erdos_renyi_topology(30, p=0.02, rng=0)
+        assert t.is_connected()
+
+    def test_unconnected_allowed(self):
+        t = erdos_renyi_topology(30, p=0.0, connect=False, rng=0)
+        assert t.num_links == 0
+
+    def test_p_one_is_complete(self):
+        t = erdos_renyi_topology(6, p=1.0, rng=0)
+        assert t.num_links == 15
+
+    def test_bad_p(self):
+        with pytest.raises(ConfigurationError):
+            erdos_renyi_topology(5, p=1.5)
+
+
+class TestWaxman:
+    def test_connected_by_default(self):
+        t = waxman_topology(25, rng=0)
+        assert t.is_connected()
+
+    def test_higher_alpha_denser(self):
+        sparse = waxman_topology(40, alpha=0.1, beta=0.1, connect=False, rng=3)
+        dense = waxman_topology(40, alpha=0.9, beta=0.9, connect=False, rng=3)
+        assert dense.num_links > sparse.num_links
+
+    def test_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            waxman_topology(5, alpha=0.0)

@@ -1,0 +1,84 @@
+"""Tests for shortest-path routines."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.network.generators import waxman_topology
+from repro.network.paths import all_pairs_shortest_paths, dijkstra, floyd_warshall
+from repro.network.topology import Topology
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture
+def diamond():
+    # 0-1 (1), 0-2 (4), 1-2 (1), 2-3 (1), 1-3 (5)
+    return Topology(
+        4, [(0, 1, 1.0), (0, 2, 4.0), (1, 2, 1.0), (2, 3, 1.0), (1, 3, 5.0)]
+    )
+
+
+class TestDijkstra:
+    def test_shortest_route_wins(self, diamond):
+        dist = dijkstra(diamond, 0)
+        assert dist[0] == 0
+        assert dist[1] == 1
+        assert dist[2] == 2  # via node 1, not the direct 4-cost link
+        assert dist[3] == 3
+
+    def test_unreachable_is_inf(self):
+        t = Topology(3, [(0, 1, 1.0)])
+        assert np.isinf(dijkstra(t, 0)[2])
+
+    def test_bad_source(self, diamond):
+        with pytest.raises(ConfigurationError):
+            dijkstra(diamond, 9)
+
+
+class TestFloydWarshall:
+    def test_matches_dijkstra(self, diamond):
+        fw = floyd_warshall(diamond.adjacency_matrix())
+        for s in range(4):
+            assert np.allclose(fw[s], dijkstra(diamond, s))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ConfigurationError):
+            floyd_warshall(np.zeros((2, 3)))
+
+
+class TestAllPairs:
+    def test_methods_agree_on_random_graph(self):
+        topo = waxman_topology(20, alpha=0.7, beta=0.5, rng=4)
+        a = all_pairs_shortest_paths(topo, method="dijkstra")
+        b = all_pairs_shortest_paths(topo, method="floyd-warshall")
+        assert np.allclose(a, b)
+
+    def test_agrees_with_networkx(self):
+        topo = waxman_topology(15, alpha=0.7, beta=0.5, rng=5)
+        ours = all_pairs_shortest_paths(topo)
+        g = topo.to_networkx()
+        for s, targets in nx.all_pairs_dijkstra_path_length(g, weight="weight"):
+            for t, d in targets.items():
+                assert ours[s, t] == pytest.approx(d)
+
+    def test_symmetry_and_zero_diagonal(self):
+        topo = waxman_topology(12, rng=6)
+        mat = all_pairs_shortest_paths(topo)
+        assert np.allclose(mat, mat.T)
+        assert np.allclose(np.diagonal(mat), 0.0)
+
+    def test_auto_method_selection(self, diamond):
+        assert all_pairs_shortest_paths(diamond, method=None).shape == (4, 4)
+
+    def test_unknown_method(self, diamond):
+        with pytest.raises(ConfigurationError):
+            all_pairs_shortest_paths(diamond, method="bellman")
+
+    def test_triangle_inequality(self):
+        topo = waxman_topology(15, rng=8)
+        mat = all_pairs_shortest_paths(topo)
+        n = topo.num_nodes
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    assert mat[i, j] <= mat[i, k] + mat[k, j] + 1e-9

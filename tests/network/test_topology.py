@@ -1,0 +1,99 @@
+"""Tests for repro.network.topology."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.network.topology import Topology
+from repro.util.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_basic(self):
+        t = Topology(3, [(0, 1, 2.0), (1, 2, 3.0)])
+        assert t.num_nodes == 3
+        assert t.num_links == 2
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Topology(0)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Topology(2, [(0, 0, 1.0)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Topology(2, [(0, 2, 1.0)])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Topology(2, [(0, 1, -1.0)])
+
+    def test_parallel_links_keep_cheapest(self):
+        t = Topology(2, [(0, 1, 5.0), (0, 1, 2.0), (1, 0, 7.0)])
+        assert t.link_weight(0, 1) == 2.0
+        assert t.num_links == 1
+
+
+class TestQueries:
+    def test_neighbors_symmetric(self):
+        t = Topology(3, [(0, 1, 2.0)])
+        assert t.neighbors(0) == {1: 2.0}
+        assert t.neighbors(1) == {0: 2.0}
+
+    def test_degree(self):
+        t = Topology(4, [(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0)])
+        assert t.degree(0) == 3
+        assert t.degree(1) == 1
+
+    def test_has_link(self):
+        t = Topology(3, [(0, 1, 1.0)])
+        assert t.has_link(0, 1) and t.has_link(1, 0)
+        assert not t.has_link(0, 2)
+
+    def test_edges_iterates_once(self):
+        t = Topology(3, [(0, 1, 1.0), (1, 2, 2.0)])
+        edges = sorted(t.edges())
+        assert edges == [(0, 1, 1.0), (1, 2, 2.0)]
+
+
+class TestConnectivity:
+    def test_connected(self):
+        assert Topology(3, [(0, 1, 1.0), (1, 2, 1.0)]).is_connected()
+
+    def test_disconnected(self):
+        assert not Topology(3, [(0, 1, 1.0)]).is_connected()
+
+    def test_single_node_connected(self):
+        assert Topology(1).is_connected()
+
+    def test_is_tree(self):
+        assert Topology(3, [(0, 1, 1.0), (1, 2, 1.0)]).is_tree()
+        assert not Topology(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]).is_tree()
+
+
+class TestConversions:
+    def test_adjacency_matrix(self):
+        t = Topology(3, [(0, 1, 2.0)])
+        mat = t.adjacency_matrix()
+        assert mat[0, 1] == 2.0 and mat[1, 0] == 2.0
+        assert np.isinf(mat[0, 2])
+        assert (np.diagonal(mat) == 0).all()
+
+    def test_networkx_roundtrip(self):
+        t = Topology(4, [(0, 1, 1.5), (1, 2, 2.5), (2, 3, 3.5)])
+        t2 = Topology.from_networkx(t.to_networkx())
+        assert sorted(t.edges()) == sorted(t2.edges())
+
+    def test_from_networkx_relabels(self):
+        g = nx.Graph()
+        g.add_edge("a", "b", weight=4.0)
+        t = Topology.from_networkx(g)
+        assert t.num_nodes == 2
+        assert t.link_weight(0, 1) == 4.0
+
+    def test_from_networkx_default_weight(self):
+        g = nx.path_graph(3)
+        t = Topology.from_networkx(g)
+        assert t.link_weight(0, 1) == 1.0

@@ -1,0 +1,79 @@
+"""Tests for the 0/1 Knapsack DP solver."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.npc.knapsack import KnapsackInstance, solve_knapsack
+from repro.util.errors import ConfigurationError
+
+
+def brute_force(instance):
+    best = 0
+    n = instance.num_objects
+    for mask in itertools.product((0, 1), repeat=n):
+        weight = sum(s for s, take in zip(instance.sizes, mask) if take)
+        if weight <= instance.capacity:
+            best = max(
+                best, sum(b for b, take in zip(instance.benefits, mask) if take)
+            )
+    return best
+
+
+class TestInstanceValidation:
+    def test_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            KnapsackInstance.create([1, 2], [1], 3)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KnapsackInstance.create([0], [1], 3)
+        with pytest.raises(ConfigurationError):
+            KnapsackInstance.create([1], [0], 3)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KnapsackInstance.create([1], [1], -1)
+
+
+class TestSolver:
+    def test_textbook_instance(self):
+        inst = KnapsackInstance.create([60, 100, 120], [10, 20, 30], 50)
+        sol = solve_knapsack(inst)
+        assert sol.value == 220
+        assert set(sol.chosen) == {1, 2}
+        assert sol.weight == 50
+
+    def test_nothing_fits(self):
+        inst = KnapsackInstance.create([5, 5], [10, 10], 3)
+        sol = solve_knapsack(inst)
+        assert sol.value == 0 and sol.chosen == ()
+
+    def test_everything_fits(self):
+        inst = KnapsackInstance.create([1, 2, 3], [1, 1, 1], 10)
+        sol = solve_knapsack(inst)
+        assert sol.value == 6
+        assert set(sol.chosen) == {0, 1, 2}
+
+    def test_zero_capacity(self):
+        inst = KnapsackInstance.create([4], [2], 0)
+        assert solve_knapsack(inst).value == 0
+
+    def test_chosen_subset_is_consistent(self):
+        inst = KnapsackInstance.create([7, 2, 9, 4], [3, 1, 4, 2], 6)
+        sol = solve_knapsack(inst)
+        assert sum(inst.benefits[i] for i in sol.chosen) == sol.value
+        assert sum(inst.sizes[i] for i in sol.chosen) == sol.weight
+        assert sol.weight <= inst.capacity
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute_force_on_random_instances(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 8))
+        inst = KnapsackInstance.create(
+            benefits=rng.integers(1, 20, size=n).tolist(),
+            sizes=rng.integers(1, 10, size=n).tolist(),
+            capacity=int(rng.integers(0, 25)),
+        )
+        assert solve_knapsack(inst).value == brute_force(inst)

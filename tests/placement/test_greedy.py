@@ -1,0 +1,103 @@
+"""Tests for greedy replica placement."""
+
+import numpy as np
+import pytest
+
+from repro.network.costmatrix import uniform_cost_matrix
+from repro.placement.greedy import access_cost, greedy_placement
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture
+def setup():
+    m, n = 5, 8
+    rng = np.random.default_rng(0)
+    costs = np.abs(rng.normal(5, 2, size=(m, m)))
+    costs = (costs + costs.T) / 2
+    np.fill_diagonal(costs, 0.0)
+    sizes = np.ones(n)
+    capacities = np.full(m, 4.0)
+    demand = rng.integers(0, 50, size=(m, n)).astype(float)
+    return costs, sizes, capacities, demand
+
+
+class TestAccessCost:
+    def test_single_replica(self):
+        costs = uniform_cost_matrix(2, 3.0)
+        x = np.array([[1], [0]], dtype=np.int8)
+        demand = np.array([[2.0], [4.0]])
+        # client 0 local (0), client 1 pays 3 each for 4 requests
+        assert access_cost(x, costs, np.array([1.0]), demand) == 12.0
+
+    def test_nearest_replica_used(self):
+        costs = np.array([[0.0, 1.0, 9.0], [1.0, 0.0, 9.0], [9.0, 9.0, 0.0]])
+        x = np.array([[1], [0], [1]], dtype=np.int8)
+        demand = np.array([[0.0], [1.0], [0.0]])
+        assert access_cost(x, costs, np.array([1.0]), demand) == 1.0
+
+    def test_unplaced_object_infinite(self):
+        costs = uniform_cost_matrix(2)
+        x = np.zeros((2, 1), dtype=np.int8)
+        assert access_cost(x, costs, np.ones(1), np.ones((2, 1))) == float("inf")
+
+
+class TestGreedyPlacement:
+    def test_every_object_placed(self, setup):
+        x = greedy_placement(*setup)
+        assert (x.sum(axis=0) >= 1).all()
+
+    def test_capacities_respected(self, setup):
+        costs, sizes, capacities, demand = setup
+        x = greedy_placement(costs, sizes, capacities, demand)
+        assert (x.astype(float) @ sizes <= capacities + 1e-9).all()
+
+    def test_more_capacity_never_hurts(self, setup):
+        costs, sizes, capacities, demand = setup
+        tight = greedy_placement(costs, sizes, capacities, demand)
+        loose = greedy_placement(costs, sizes, capacities * 2, demand)
+        assert access_cost(loose, costs, sizes, demand) <= access_cost(
+            tight, costs, sizes, demand
+        ) + 1e-9
+
+    def test_max_replicas_cap(self, setup):
+        costs, sizes, capacities, demand = setup
+        x = greedy_placement(
+            costs, sizes, capacities, demand, max_replicas=1
+        )
+        assert (x.sum(axis=0) == 1).all()
+
+    def test_min_replicas(self, setup):
+        costs, sizes, capacities, demand = setup
+        x = greedy_placement(costs, sizes, capacities, demand, min_replicas=2)
+        assert (x.sum(axis=0) >= 2).all()
+
+    def test_popular_objects_get_more_replicas(self):
+        m, n = 6, 4
+        costs = uniform_cost_matrix(m, 5.0)
+        sizes = np.ones(n)
+        capacities = np.full(m, 2.0)
+        demand = np.zeros((m, n))
+        demand[:, 0] = 100.0  # object 0 is hot everywhere
+        demand[:, 1:] = 1.0
+        x = greedy_placement(costs, sizes, capacities, demand)
+        counts = x.sum(axis=0)
+        assert counts[0] == counts.max()
+
+    def test_insufficient_capacity_raises(self):
+        costs = uniform_cost_matrix(2)
+        with pytest.raises(ConfigurationError):
+            greedy_placement(
+                costs, np.ones(5), np.array([1.0, 1.0]), np.ones((2, 5))
+            )
+
+    def test_bad_demand_shape(self, setup):
+        costs, sizes, capacities, _ = setup
+        with pytest.raises(ConfigurationError):
+            greedy_placement(costs, sizes, capacities, np.ones((2, 2)))
+
+    def test_bad_replica_bounds(self, setup):
+        costs, sizes, capacities, demand = setup
+        with pytest.raises(ConfigurationError):
+            greedy_placement(
+                costs, sizes, capacities, demand, min_replicas=3, max_replicas=2
+            )

@@ -1,0 +1,72 @@
+"""Tests for the local-search placement refiner."""
+
+import numpy as np
+import pytest
+
+from repro.network.costmatrix import uniform_cost_matrix
+from repro.placement.greedy import access_cost, greedy_placement
+from repro.placement.local_search import local_search_placement
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture
+def setup():
+    m, n = 5, 6
+    rng = np.random.default_rng(7)
+    costs = np.abs(rng.normal(5, 2, size=(m, m)))
+    costs = (costs + costs.T) / 2
+    np.fill_diagonal(costs, 0.0)
+    sizes = np.ones(n)
+    capacities = np.full(m, 3.0)
+    demand = rng.integers(0, 50, size=(m, n)).astype(float)
+    return costs, sizes, capacities, demand
+
+
+class TestLocalSearch:
+    def test_never_worse(self, setup):
+        costs, sizes, capacities, demand = setup
+        x0 = greedy_placement(costs, sizes, capacities, demand)
+        x1 = local_search_placement(x0, costs, sizes, capacities, demand, rng=0)
+        assert access_cost(x1, costs, sizes, demand) <= access_cost(
+            x0, costs, sizes, demand
+        ) + 1e-9
+
+    def test_improves_bad_start(self, setup):
+        costs, sizes, capacities, demand = setup
+        # adversarial start: object k on server (k % m), ignoring demand
+        x0 = np.zeros((5, 6), dtype=np.int8)
+        for k in range(6):
+            x0[k % 5, k] = 1
+        x1 = local_search_placement(x0, costs, sizes, capacities, demand, rng=0)
+        assert access_cost(x1, costs, sizes, demand) < access_cost(
+            x0, costs, sizes, demand
+        )
+
+    def test_respects_capacities(self, setup):
+        costs, sizes, capacities, demand = setup
+        x0 = greedy_placement(costs, sizes, capacities, demand)
+        x1 = local_search_placement(x0, costs, sizes, capacities, demand, rng=1)
+        assert (x1.astype(float) @ sizes <= capacities + 1e-9).all()
+
+    def test_input_not_mutated(self, setup):
+        costs, sizes, capacities, demand = setup
+        x0 = greedy_placement(costs, sizes, capacities, demand)
+        snapshot = x0.copy()
+        local_search_placement(x0, costs, sizes, capacities, demand, rng=2)
+        assert (x0 == snapshot).all()
+
+    def test_zero_moves_is_noop(self, setup):
+        costs, sizes, capacities, demand = setup
+        x0 = greedy_placement(costs, sizes, capacities, demand)
+        x1 = local_search_placement(
+            x0, costs, sizes, capacities, demand, max_moves=0, rng=3
+        )
+        assert (x0 == x1).all()
+
+    def test_overfull_start_rejected(self):
+        costs = uniform_cost_matrix(2)
+        x0 = np.ones((2, 3), dtype=np.int8)
+        with pytest.raises(ConfigurationError):
+            local_search_placement(
+                x0, costs, np.ones(3), np.array([1.0, 1.0]), np.ones((2, 3))
+            )

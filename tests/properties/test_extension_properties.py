@@ -1,0 +1,61 @@
+"""Property-based tests for the extension components (GMC, NSR, timing).
+
+Reuses the random-instance strategy of ``test_schedule_properties`` and
+checks the invariants the extensions promise:
+
+* GMC emits valid schedules on arbitrary instances;
+* NSR is validity-preserving, cost-monotone and idempotent;
+* the timing executor's makespan is sandwiched between the critical path
+  and the sequential time, and its trace replays validly.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import get_builder, get_optimizer
+from repro.model.schedule import Schedule
+from repro.timing import bandwidths_from_costs, simulate_parallel
+from tests.properties.test_schedule_properties import COMMON, instances
+
+
+@settings(**COMMON)
+@given(inst=instances(), seed=st.integers(0, 2**31 - 1))
+def test_gmc_produces_valid_schedules(inst, seed):
+    schedule = get_builder("GMC").build(inst, rng=seed)
+    report = schedule.validate(inst)
+    assert report.ok, f"{report.message} @ {report.position}"
+
+
+@settings(**COMMON)
+@given(inst=instances(), seed=st.integers(0, 2**31 - 1))
+def test_nsr_validity_cost_and_idempotence(inst, seed):
+    base = get_builder("RDF").build(inst, rng=seed)
+    nsr = get_optimizer("NSR")
+    once = nsr.optimize(inst, base)
+    assert once.validate(inst).ok
+    assert once.cost(inst) <= base.cost(inst) + 1e-9
+    twice = nsr.optimize(inst, once)
+    assert twice == once
+
+
+@settings(**COMMON)
+@given(inst=instances(), seed=st.integers(0, 2**31 - 1))
+def test_timing_sandwich_and_trace_validity(inst, seed):
+    schedule = get_builder("GSDF").build(inst, rng=seed)
+    bandwidths = bandwidths_from_costs(inst.costs)
+    result = simulate_parallel(schedule, inst, bandwidths)
+    assert result.critical_path <= result.makespan + 1e-9
+    assert result.makespan <= result.sequential_time + 1e-9
+    order = sorted(result.trace, key=lambda t: (t.start, t.position))
+    assert Schedule([t.action for t in order]).validate(inst).ok
+
+
+@settings(**COMMON)
+@given(inst=instances(), seed=st.integers(0, 2**31 - 1))
+def test_more_slots_never_slower(inst, seed):
+    schedule = get_builder("AR").build(inst, rng=seed)
+    bandwidths = bandwidths_from_costs(inst.costs)
+    narrow = simulate_parallel(schedule, inst, bandwidths, out_slots=1, in_slots=1)
+    wide = simulate_parallel(schedule, inst, bandwidths, out_slots=3, in_slots=3)
+    assert wide.makespan <= narrow.makespan + 1e-9

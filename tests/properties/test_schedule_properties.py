@@ -1,0 +1,115 @@
+"""Property-based tests: builder/optimizer invariants on random instances.
+
+Instances are drawn with arbitrary binary placements (including objects
+with no old replica — forced dummy transfers — and empty servers),
+integer sizes, and capacities between "minimal" and "minimal + slack".
+The invariants checked are the load-bearing ones from the paper's
+formulation:
+
+* every builder emits a schedule that is valid w.r.t. ``(X_old, X_new)``;
+* H1/H2 preserve validity and never increase the dummy-transfer count;
+* OP1 preserves validity and never increases the implementation cost;
+* every schedule's cost lies within [universal lower bound, worst-case
+  upper bound].
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import universal_lower_bound, worst_case_upper_bound
+from repro.core import get_builder, get_optimizer
+from repro.model.instance import RtspInstance
+
+BUILDERS = ["RDF", "GSDF", "AR", "GOLCF"]
+
+COMMON = dict(
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def instances(draw) -> RtspInstance:
+    m = draw(st.integers(2, 5))
+    n = draw(st.integers(1, 5))
+    sizes = np.array(
+        draw(st.lists(st.integers(1, 4), min_size=n, max_size=n)), dtype=float
+    )
+    bits = st.lists(
+        st.lists(st.integers(0, 1), min_size=n, max_size=n),
+        min_size=m,
+        max_size=m,
+    )
+    x_old = np.array(draw(bits), dtype=np.int8)
+    x_new = np.array(draw(bits), dtype=np.int8)
+    loads_old = x_old.astype(float) @ sizes
+    loads_new = x_new.astype(float) @ sizes
+    slack = np.array(
+        draw(st.lists(st.integers(0, 4), min_size=m, max_size=m)), dtype=float
+    )
+    capacities = np.maximum(loads_old, loads_new) + slack
+    weights = draw(
+        st.lists(st.integers(1, 9), min_size=m * m, max_size=m * m)
+    )
+    costs = np.array(weights, dtype=float).reshape(m, m)
+    costs = (costs + costs.T) / 2.0
+    np.fill_diagonal(costs, 0.0)
+    return RtspInstance.create(sizes, capacities, costs, x_old, x_new)
+
+
+@settings(**COMMON)
+@given(inst=instances(), seed=st.integers(0, 2**31 - 1))
+def test_every_builder_produces_valid_schedules(inst, seed):
+    for name in BUILDERS:
+        schedule = get_builder(name).build(inst, rng=seed)
+        report = schedule.validate(inst)
+        assert report.ok, f"{name}: {report.message} @ {report.position}"
+
+
+@settings(**COMMON)
+@given(inst=instances(), seed=st.integers(0, 2**31 - 1))
+def test_h1_preserves_validity_and_dummy_monotonicity(inst, seed):
+    base = get_builder("RDF").build(inst, rng=seed)
+    out = get_optimizer("H1").optimize(inst, base)
+    assert out.validate(inst).ok
+    assert out.count_dummy_transfers(inst) <= base.count_dummy_transfers(inst)
+
+
+@settings(**COMMON)
+@given(inst=instances(), seed=st.integers(0, 2**31 - 1))
+def test_h2_preserves_validity_and_dummy_monotonicity(inst, seed):
+    base = get_builder("RDF").build(inst, rng=seed)
+    out = get_optimizer("H2").optimize(inst, base)
+    assert out.validate(inst).ok
+    assert out.count_dummy_transfers(inst) <= base.count_dummy_transfers(inst)
+
+
+@settings(**COMMON)
+@given(inst=instances(), seed=st.integers(0, 2**31 - 1))
+def test_op1_preserves_validity_and_cost_monotonicity(inst, seed):
+    base = get_builder("AR").build(inst, rng=seed)
+    out = get_optimizer("OP1").optimize(inst, base)
+    assert out.validate(inst).ok
+    assert out.cost(inst) <= base.cost(inst) + 1e-9
+
+
+@settings(**COMMON)
+@given(inst=instances(), seed=st.integers(0, 2**31 - 1))
+def test_costs_bounded_by_analysis_bounds(inst, seed):
+    lb = universal_lower_bound(inst)
+    ub = worst_case_upper_bound(inst)
+    for name in BUILDERS:
+        cost = get_builder(name).build(inst, rng=seed).cost(inst)
+        assert lb - 1e-9 <= cost <= ub + 1e-9
+
+
+@settings(**COMMON)
+@given(inst=instances(), seed=st.integers(0, 2**31 - 1))
+def test_full_pipeline_end_state_is_x_new(inst, seed):
+    from repro.core import build_pipeline
+
+    schedule = build_pipeline("GOLCF+H1+H2+OP1").run(inst, rng=seed)
+    final = schedule.replay(inst)
+    assert final.matches(inst.x_new)

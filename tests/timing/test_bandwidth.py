@@ -1,0 +1,62 @@
+"""Tests for bandwidth models."""
+
+import numpy as np
+import pytest
+
+from repro.timing.bandwidth import (
+    bandwidths_from_costs,
+    transfer_duration,
+    uniform_bandwidths,
+)
+from repro.util.errors import ConfigurationError
+
+
+class TestUniform:
+    def test_shape_and_values(self):
+        bw = uniform_bandwidths(3, rate=2.0)
+        assert bw.shape == (4, 4)
+        assert bw[0, 1] == 2.0
+        assert bw[3, 0] == 0.2  # dummy tier 10x slower
+
+    def test_custom_dummy_rate(self):
+        bw = uniform_bandwidths(3, rate=2.0, dummy_rate=1.0)
+        assert bw[3, 1] == 1.0
+
+    def test_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            uniform_bandwidths(0)
+        with pytest.raises(ConfigurationError):
+            uniform_bandwidths(3, rate=0.0)
+        with pytest.raises(ConfigurationError):
+            uniform_bandwidths(3, dummy_rate=-1.0)
+
+
+class TestFromCosts:
+    def test_inverse_relation(self):
+        costs = np.array([[0.0, 2.0], [2.0, 0.0]])
+        bw = bandwidths_from_costs(costs, scale=4.0)
+        assert bw[0, 1] == 2.0
+        assert np.isinf(bw[0, 0])
+
+    def test_expensive_links_are_slow(self):
+        costs = np.array([[0.0, 1.0, 8.0], [1.0, 0.0, 1.0], [8.0, 1.0, 0.0]])
+        bw = bandwidths_from_costs(costs)
+        assert bw[0, 2] < bw[0, 1]
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bandwidths_from_costs(np.zeros((2, 3)))
+
+    def test_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            bandwidths_from_costs(np.zeros((2, 2)), scale=0.0)
+
+
+class TestTransferDuration:
+    def test_formula(self):
+        bw = uniform_bandwidths(2, rate=4.0)
+        assert transfer_duration(bw, 8.0, 0, 1) == 2.0
+
+    def test_infinite_bandwidth_is_instant(self):
+        bw = uniform_bandwidths(2)
+        assert transfer_duration(bw, 8.0, 0, 0) == 0.0

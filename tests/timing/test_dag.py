@@ -1,0 +1,84 @@
+"""Tests for the schedule dependency DAG."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core import build_pipeline
+from repro.model.actions import Delete, Transfer
+from repro.model.schedule import Schedule
+from repro.timing.dag import build_dependency_dag, critical_path_length
+from repro.workloads.regular import paper_instance
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return paper_instance(replicas=2, num_servers=8, num_objects=24, rng=11)
+
+
+class TestDagStructure:
+    def test_acyclic(self, instance):
+        for spec in ("RDF", "GOLCF", "GOLCF+H1+H2+OP1"):
+            schedule = build_pipeline(spec).run(instance, rng=0)
+            dag = build_dependency_dag(schedule.actions(), instance)
+            assert nx.is_directed_acyclic_graph(dag)
+
+    def test_edges_point_forward(self, instance):
+        schedule = build_pipeline("GOLCF").run(instance, rng=1)
+        dag = build_dependency_dag(schedule.actions(), instance)
+        assert all(u < v for u, v in dag.edges)
+
+    def test_chain_dependency(self, tiny_instance):
+        # transfer then the deletion of its source: deletion depends on it
+        actions = [Transfer(2, 0, 0), Delete(0, 0)]
+        dag = build_dependency_dag(actions, tiny_instance)
+        assert dag.has_edge(0, 1)
+
+    def test_created_source_dependency(self, tiny_instance):
+        # second transfer reads the replica the first created
+        actions = [Transfer(2, 0, 0), Delete(0, 0), Transfer(0, 0, 2)]
+        dag = build_dependency_dag(actions, tiny_instance)
+        assert dag.has_edge(0, 2)  # source created at 0
+        assert dag.has_edge(1, 2)  # cell (0,0) deleted before re-created
+
+    def test_independent_actions_unlinked(self, tiny_instance):
+        # transfers to different servers from initial holders
+        actions = [Transfer(2, 0, 0), Transfer(2, 1, 1)]
+        # different targets? both target S2: space edge exists.
+        dag = build_dependency_dag(actions, tiny_instance)
+        assert dag.has_edge(0, 1)  # same target => conservative space edge
+        actions = [Transfer(1, 0, 0), Transfer(2, 1, 1)]
+        dag = build_dependency_dag(actions, tiny_instance)
+        assert dag.number_of_edges() == 0
+
+    def test_every_linearisation_is_valid(self, instance):
+        """The conservative-DAG guarantee: random topological orders of
+        the DAG replay validly."""
+        schedule = build_pipeline("GOLCF+H1+H2").run(instance, rng=2)
+        actions = schedule.actions()
+        dag = build_dependency_dag(actions, instance)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            order = list(
+                nx.lexicographical_topological_sort(
+                    dag, key=lambda v: rng.random()
+                )
+            )
+            candidate = Schedule([actions[idx] for idx in order])
+            assert candidate.validate(instance).ok
+
+
+class TestCriticalPath:
+    def test_empty(self, tiny_instance):
+        dag = build_dependency_dag([], tiny_instance)
+        assert critical_path_length(dag, []) == 0.0
+
+    def test_chain_sums(self, tiny_instance):
+        actions = [Transfer(2, 0, 0), Delete(0, 0), Transfer(0, 0, 2)]
+        dag = build_dependency_dag(actions, tiny_instance)
+        assert critical_path_length(dag, [3.0, 0.0, 5.0]) == 8.0
+
+    def test_parallel_max(self, tiny_instance):
+        actions = [Transfer(1, 0, 0), Transfer(2, 1, 1)]
+        dag = build_dependency_dag(actions, tiny_instance)
+        assert critical_path_length(dag, [3.0, 5.0]) == 5.0

@@ -1,0 +1,52 @@
+"""Tests for the ASCII Gantt renderer."""
+
+import pytest
+
+from repro.core import build_pipeline
+from repro.model.actions import Delete, Transfer
+from repro.model.schedule import Schedule
+from repro.timing.bandwidth import uniform_bandwidths
+from repro.timing.executor import simulate_parallel
+from repro.timing.gantt import render_gantt
+from repro.workloads.regular import paper_instance
+
+
+class TestRenderGantt:
+    def test_empty_execution(self, tiny_instance):
+        bw = uniform_bandwidths(3)
+        result = simulate_parallel(Schedule(), tiny_instance, bw)
+        assert "empty" in render_gantt(result, 3)
+
+    def test_rows_per_server(self, tiny_instance):
+        bw = uniform_bandwidths(3, rate=0.5)
+        schedule = Schedule([Transfer(2, 0, 0), Delete(0, 0)])
+        result = simulate_parallel(schedule, tiny_instance, bw)
+        text = render_gantt(result, 3)
+        for server in range(3):
+            assert f"S{server}" in text
+
+    def test_transfer_block_on_target_row(self, tiny_instance):
+        bw = uniform_bandwidths(3, rate=0.5)
+        schedule = Schedule([Transfer(2, 0, 0), Delete(0, 0)])
+        result = simulate_parallel(schedule, tiny_instance, bw)
+        lines = render_gantt(result, 3, width=20).splitlines()
+        s2_row = next(l for l in lines if l.startswith("S2"))
+        assert "#" in s2_row or "0" in s2_row
+        s1_row = next(l for l in lines if l.startswith("S1"))
+        assert "#" not in s1_row
+
+    def test_header_metrics(self, tiny_instance):
+        bw = uniform_bandwidths(3, rate=0.5)
+        schedule = Schedule([Transfer(2, 0, 0), Delete(0, 0)])
+        result = simulate_parallel(schedule, tiny_instance, bw)
+        text = render_gantt(result, 3)
+        assert "makespan=2" in text
+        assert "speedup" in text
+
+    def test_realistic_schedule_renders(self):
+        instance = paper_instance(replicas=2, num_servers=8, num_objects=20, rng=4)
+        schedule = build_pipeline("GOLCF").run(instance, rng=0)
+        bw = uniform_bandwidths(instance.num_servers, rate=1000.0)
+        result = simulate_parallel(schedule, instance, bw)
+        text = render_gantt(result, instance.num_servers, width=40)
+        assert len(text.splitlines()) == instance.num_servers + 3

@@ -1,0 +1,45 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.util.errors import (
+    CapacityError,
+    ConfigurationError,
+    InfeasibleInstanceError,
+    InvalidActionError,
+    InvalidScheduleError,
+    RtspError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        ConfigurationError,
+        InvalidActionError,
+        InvalidScheduleError,
+        CapacityError,
+        InfeasibleInstanceError,
+    ],
+)
+def test_all_derive_from_rtsp_error(exc):
+    assert issubclass(exc, RtspError)
+    with pytest.raises(RtspError):
+        raise exc("boom")
+
+
+def test_invalid_action_carries_context():
+    err = InvalidActionError("bad", action="T", position=7)
+    assert err.action == "T"
+    assert err.position == 7
+
+
+def test_invalid_schedule_carries_position():
+    err = InvalidScheduleError("bad", position=3)
+    assert err.position == 3
+
+
+def test_defaults_are_none():
+    assert InvalidActionError("x").action is None
+    assert InvalidActionError("x").position is None
+    assert InvalidScheduleError("x").position is None

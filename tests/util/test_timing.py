@@ -1,0 +1,73 @@
+"""Tests for repro.util.timing."""
+
+import time
+
+from repro.util.timing import Stopwatch, timed
+
+
+class TestStopwatch:
+    def test_lap_records_time(self):
+        sw = Stopwatch()
+        with sw.lap("work"):
+            time.sleep(0.01)
+        assert sw.laps["work"] >= 0.005
+
+    def test_laps_accumulate(self):
+        sw = Stopwatch()
+        sw.add("a", 1.0)
+        sw.add("a", 2.0)
+        assert sw.laps["a"] == 3.0
+
+    def test_total(self):
+        sw = Stopwatch()
+        sw.add("a", 1.0)
+        sw.add("b", 2.0)
+        assert sw.total == 3.0
+
+    def test_report_contains_names(self):
+        sw = Stopwatch()
+        sw.add("build", 0.5)
+        sw.add("optimize", 1.5)
+        report = sw.report()
+        assert "build" in report and "optimize" in report
+        # longest lap first
+        assert report.index("optimize") < report.index("build")
+
+    def test_empty_report(self):
+        assert "no laps" in Stopwatch().report()
+
+
+class TestTimedDecorator:
+    def test_records_each_call(self):
+        sw = Stopwatch()
+
+        @timed(sw)
+        def f(x):
+            return x * 2
+
+        assert f(2) == 4
+        assert f(3) == 6
+        assert "f" in sw.laps
+
+    def test_custom_name(self):
+        sw = Stopwatch()
+
+        @timed(sw, "custom")
+        def g():
+            return 1
+
+        g()
+        assert "custom" in sw.laps
+
+    def test_records_on_exception(self):
+        sw = Stopwatch()
+
+        @timed(sw)
+        def boom():
+            raise ValueError
+
+        try:
+            boom()
+        except ValueError:
+            pass
+        assert "boom" in sw.laps

@@ -1,0 +1,86 @@
+"""Tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+
+from repro.util.errors import ConfigurationError
+from repro.util.validation import (
+    check_binary_matrix,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    check_symmetric,
+)
+
+
+class TestBinaryMatrix:
+    def test_accepts_zeros_and_ones(self):
+        out = check_binary_matrix(np.array([[0, 1], [1, 0]]))
+        assert out.dtype == np.int8
+
+    def test_accepts_bool(self):
+        out = check_binary_matrix(np.array([[True, False]]))
+        assert out.tolist() == [[1, 0]]
+
+    def test_rejects_other_values(self):
+        with pytest.raises(ConfigurationError):
+            check_binary_matrix(np.array([[0, 2]]))
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ConfigurationError):
+            check_binary_matrix(np.array([0, 1]))
+
+    def test_empty_matrix_ok(self):
+        assert check_binary_matrix(np.zeros((0, 3))).shape == (0, 3)
+
+    def test_error_mentions_name(self):
+        with pytest.raises(ConfigurationError, match="X_old"):
+            check_binary_matrix(np.array([[3]]), "X_old")
+
+
+class TestNonnegativeAndPositive:
+    def test_nonnegative_accepts_zero(self):
+        assert check_nonnegative([0.0, 1.0]).tolist() == [0.0, 1.0]
+
+    def test_nonnegative_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_nonnegative([-0.1])
+
+    def test_positive_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            check_positive([0.0])
+
+    def test_positive_accepts_positive(self):
+        assert check_positive([2.5]).tolist() == [2.5]
+
+    def test_returns_float64(self):
+        assert check_positive([1, 2]).dtype == np.float64
+
+
+class TestProbability:
+    @pytest.mark.parametrize("p", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, p):
+        assert check_probability(p) == p
+
+    @pytest.mark.parametrize("p", [-0.01, 1.01, 5])
+    def test_rejects_outside(self, p):
+        with pytest.raises(ConfigurationError):
+            check_probability(p)
+
+
+class TestSymmetric:
+    def test_accepts_symmetric(self):
+        m = np.array([[0.0, 2.0], [2.0, 0.0]])
+        assert check_symmetric(m).shape == (2, 2)
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ConfigurationError):
+            check_symmetric(np.array([[0.0, 1.0], [2.0, 0.0]]))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ConfigurationError):
+            check_symmetric(np.zeros((2, 3)))
+
+    def test_tolerance(self):
+        m = np.array([[0.0, 1.0], [1.0 + 1e-12, 0.0]])
+        check_symmetric(m)  # within atol

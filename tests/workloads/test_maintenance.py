@@ -1,0 +1,113 @@
+"""Tests for the server-draining maintenance workload."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_pipeline
+from repro.model.actions import Transfer, is_delete, is_transfer
+from repro.util.errors import ConfigurationError
+from repro.workloads.maintenance import drain_instance, drain_placement
+from repro.workloads.regular import paper_instance
+
+
+@pytest.fixture(scope="module")
+def base_instance():
+    return paper_instance(
+        replicas=2, num_servers=10, num_objects=30,
+        extra_capacity_servers=10, rng=31,
+    )
+
+
+class TestDrainPlacement:
+    def test_drained_servers_emptied(self, base_instance):
+        inst = base_instance
+        x_new = drain_placement(
+            inst.x_new, inst.sizes, inst.capacities, drained=[0, 3], rng=0
+        )
+        assert x_new[0].sum() == 0
+        assert x_new[3].sum() == 0
+
+    def test_replicas_preserved_when_possible(self, base_instance):
+        inst = base_instance
+        x_new = drain_placement(
+            inst.x_new, inst.sizes, inst.capacities, drained=[0], rng=0
+        )
+        # no object loses its last replica
+        assert (x_new.sum(axis=0) >= 1).all()
+
+    def test_capacities_respected(self, base_instance):
+        inst = base_instance
+        x_new = drain_placement(
+            inst.x_new, inst.sizes, inst.capacities, drained=[0, 1], rng=0
+        )
+        used = x_new.astype(float) @ inst.sizes
+        assert (used <= inst.capacities + 1e-9).all()
+
+    def test_no_drain_is_identity(self, base_instance):
+        inst = base_instance
+        x_new = drain_placement(
+            inst.x_new, inst.sizes, inst.capacities, drained=[], rng=0
+        )
+        assert (x_new == inst.x_new).all()
+
+    def test_duplicate_replica_dropped_not_crashed(self):
+        # both survivors already hold the object: the drained copy drops
+        x_old = np.array([[1], [1], [1]], dtype=np.int8)
+        x_new = drain_placement(
+            x_old, np.ones(1), np.ones(3), drained=[2], rng=0
+        )
+        assert x_new[2].sum() == 0
+        assert x_new[:, 0].sum() == 2
+
+    def test_cannot_drain_all(self):
+        x_old = np.eye(2, dtype=np.int8)
+        with pytest.raises(ConfigurationError):
+            drain_placement(x_old, np.ones(2), np.ones(2), drained=[0, 1])
+
+    def test_out_of_range(self):
+        x_old = np.eye(2, dtype=np.int8)
+        with pytest.raises(ConfigurationError):
+            drain_placement(x_old, np.ones(2), np.ones(2), drained=[5])
+
+    def test_overfull_survivors_rejected(self):
+        # single survivor cannot absorb the drained load
+        x_old = np.array([[1, 1], [0, 0]], dtype=np.int8)
+        with pytest.raises(ConfigurationError):
+            drain_placement(
+                x_old, np.ones(2), np.array([2.0, 1.0]), drained=[0]
+            )
+
+
+class TestDrainInstance:
+    def test_valid_schedulable_instance(self, base_instance):
+        inst = drain_instance(base_instance, drained=[2], rng=0)
+        inst.check_feasible()
+        schedule = build_pipeline("GOLCF+H1+H2+OP1").run(inst, rng=0)
+        assert schedule.validate(inst).ok
+
+    def test_no_transfers_into_drained_server(self, base_instance):
+        inst = drain_instance(base_instance, drained=[2], rng=0)
+        for spec in ("RDF", "GOLCF"):
+            schedule = build_pipeline(spec).run(inst, rng=1)
+            for t in schedule.transfers():
+                assert t.target != 2
+
+    def test_drained_server_only_deletes(self, base_instance):
+        inst = drain_instance(base_instance, drained=[4], rng=0)
+        schedule = build_pipeline("GSDF").run(inst, rng=0)
+        touching = [
+            a
+            for a in schedule
+            if (is_delete(a) and a.server == 4)
+            or (is_transfer(a) and a.target == 4)
+        ]
+        assert touching, "the drained server must shed its replicas"
+        assert all(is_delete(a) for a in touching)
+
+    def test_drained_server_can_still_serve_as_source(self, base_instance):
+        """Draining moves data off a server — the server is still up and
+        is typically the cheapest source for its own replicas."""
+        inst = drain_instance(base_instance, drained=[5], rng=0)
+        schedule = build_pipeline("GOLCF").run(inst, rng=0)
+        sourced = [t for t in schedule.transfers() if t.source == 5]
+        assert sourced  # its replicas went somewhere, served by itself

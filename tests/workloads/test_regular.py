@@ -1,0 +1,147 @@
+"""Tests for the regular random placement generators."""
+
+import numpy as np
+import pytest
+
+from repro.model.placement import overlap_fraction
+from repro.util.errors import ConfigurationError
+from repro.workloads.regular import (
+    paper_instance,
+    regular_placement_pair,
+    regular_random_placement,
+)
+
+
+class TestRegularRandomPlacement:
+    def test_column_sums_exact(self):
+        x = regular_random_placement(10, 30, 3, rng=0)
+        assert (x.sum(axis=0) == 3).all()
+
+    def test_row_sums_balanced(self):
+        x = regular_random_placement(10, 30, 3, rng=0)
+        assert (x.sum(axis=1) == 9).all()  # 30*3/10
+
+    def test_row_sums_near_balanced_when_indivisible(self):
+        x = regular_random_placement(7, 10, 3, rng=1)
+        rows = x.sum(axis=1)
+        assert rows.sum() == 30
+        assert rows.max() - rows.min() <= 1
+
+    def test_forbidden_cells_respected(self):
+        forbidden = regular_random_placement(8, 16, 2, rng=2)
+        x = regular_random_placement(8, 16, 2, rng=3, forbidden=forbidden)
+        assert ((x == 1) & (forbidden == 1)).sum() == 0
+
+    def test_pinned_cells_kept(self):
+        pinned = np.zeros((8, 16), dtype=np.int8)
+        pinned[0, 0] = 1
+        pinned[3, 5] = 1
+        x = regular_random_placement(8, 16, 2, rng=4, pinned=pinned)
+        assert x[0, 0] == 1 and x[3, 5] == 1
+        assert (x.sum(axis=0) == 2).all()
+
+    def test_replicas_bounds(self):
+        with pytest.raises(ConfigurationError):
+            regular_random_placement(5, 10, 0)
+        with pytest.raises(ConfigurationError):
+            regular_random_placement(5, 10, 6)
+
+    def test_full_replication(self):
+        x = regular_random_placement(5, 10, 5, rng=5)
+        assert (x == 1).all()
+
+    def test_deterministic(self):
+        a = regular_random_placement(10, 20, 2, rng=9)
+        b = regular_random_placement(10, 20, 2, rng=9)
+        assert (a == b).all()
+
+    def test_overconstrained_raises(self):
+        # forbidding everything leaves no room
+        forbidden = np.ones((4, 4), dtype=np.int8)
+        with pytest.raises(ConfigurationError):
+            regular_random_placement(4, 4, 1, rng=0, forbidden=forbidden)
+
+
+class TestPlacementPair:
+    def test_zero_overlap(self):
+        x_old, x_new = regular_placement_pair(10, 40, 2, overlap=0.0, rng=0)
+        assert overlap_fraction(x_old, x_new) == 0.0
+
+    def test_both_regular(self):
+        x_old, x_new = regular_placement_pair(10, 40, 2, rng=0)
+        for x in (x_old, x_new):
+            assert (x.sum(axis=0) == 2).all()
+            assert (x.sum(axis=1) == 8).all()
+
+    @pytest.mark.parametrize("overlap", [0.25, 0.5, 0.75])
+    def test_partial_overlap(self, overlap):
+        x_old, x_new = regular_placement_pair(
+            10, 40, 2, overlap=overlap, rng=1
+        )
+        assert overlap_fraction(x_old, x_new) == pytest.approx(overlap, abs=0.05)
+
+    def test_full_overlap_is_identity(self):
+        x_old, x_new = regular_placement_pair(10, 40, 2, overlap=1.0, rng=2)
+        assert (x_old == x_new).all()
+
+    def test_bad_overlap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            regular_placement_pair(10, 40, 2, overlap=1.5)
+
+
+class TestPaperInstance:
+    def test_structure(self):
+        inst = paper_instance(replicas=2, num_servers=10, num_objects=40, rng=0)
+        assert inst.num_servers == 10
+        assert inst.num_objects == 40
+        assert (inst.sizes == 5000.0).all()
+        assert (inst.x_old.sum(axis=0) == 2).all()
+        assert (inst.x_new.sum(axis=0) == 2).all()
+
+    def test_zero_slack_capacities(self):
+        inst = paper_instance(replicas=2, num_servers=10, num_objects=40, rng=0)
+        assert (inst.capacities == inst.old_loads()).all()
+        assert (inst.capacities == inst.new_loads()).all()
+
+    def test_uniform_sizes(self):
+        inst = paper_instance(
+            replicas=2,
+            num_servers=10,
+            num_objects=40,
+            uniform_size_range=(1000.0, 5000.0),
+            rng=1,
+        )
+        assert inst.sizes.min() >= 1000 and inst.sizes.max() <= 5000
+        assert len(set(inst.sizes.tolist())) > 1
+
+    def test_extra_capacity_servers(self):
+        base = paper_instance(replicas=2, num_servers=10, num_objects=40, rng=3)
+        slack = paper_instance(
+            replicas=2,
+            num_servers=10,
+            num_objects=40,
+            extra_capacity_servers=4,
+            rng=3,
+        )
+        # same workload seed => same placements; 4 servers gained one
+        # object's worth of capacity
+        diff = slack.capacities - base.capacities
+        assert (diff >= 0).all()
+        assert int((diff > 0).sum()) == 4
+        assert diff.max() == 5000.0
+
+    def test_deterministic(self):
+        a = paper_instance(replicas=2, num_servers=10, num_objects=40, rng=5)
+        b = paper_instance(replicas=2, num_servers=10, num_objects=40, rng=5)
+        assert (a.x_old == b.x_old).all()
+        assert (a.x_new == b.x_new).all()
+        assert np.allclose(a.costs, b.costs)
+
+    def test_dummy_constant_passthrough(self):
+        a = paper_instance(
+            replicas=2, num_servers=10, num_objects=40, rng=5, dummy_constant=2.0
+        )
+        b = paper_instance(
+            replicas=2, num_servers=10, num_objects=40, rng=5, dummy_constant=1.0
+        )
+        assert a.dummy_cost == 2 * b.dummy_cost

@@ -1,0 +1,99 @@
+"""Tests for size distributions and capacity policies."""
+
+import numpy as np
+import pytest
+
+from repro.util.errors import ConfigurationError
+from repro.workloads.capacity import (
+    exact_fit_capacities,
+    max_load_capacities,
+    scaled_capacities,
+    with_extra_object_slack,
+)
+from repro.workloads.sizes import constant_sizes, uniform_sizes, zipf_sizes
+
+
+class TestSizes:
+    def test_constant(self):
+        s = constant_sizes(5, 100.0)
+        assert (s == 100.0).all() and s.shape == (5,)
+
+    def test_constant_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            constant_sizes(5, 0.0)
+
+    def test_uniform_range_and_integrality(self):
+        s = uniform_sizes(500, 1000, 5000, rng=0)
+        assert s.min() >= 1000 and s.max() <= 5000
+        assert np.allclose(s, np.round(s))
+
+    def test_uniform_deterministic(self):
+        assert (uniform_sizes(10, rng=3) == uniform_sizes(10, rng=3)).all()
+
+    def test_uniform_bad_range(self):
+        with pytest.raises(ConfigurationError):
+            uniform_sizes(5, 10, 1)
+
+    def test_zipf_heavy_tail(self):
+        s = zipf_sizes(100, base=1000, peak=8000, rng=0)
+        assert s.min() >= 1000 - 1e-9
+        assert s.max() <= 8000 + 1e-9
+        # heavy skew: mean well below midpoint
+        assert s.mean() < (1000 + 8000) / 2
+
+    def test_zipf_bad_range(self):
+        with pytest.raises(ConfigurationError):
+            zipf_sizes(10, base=5000, peak=1000)
+
+
+class TestCapacities:
+    @pytest.fixture
+    def schemes(self):
+        x_old = np.array([[1, 1, 0], [0, 0, 1]], dtype=np.int8)
+        x_new = np.array([[1, 0, 0], [0, 1, 1]], dtype=np.int8)
+        sizes = np.array([2.0, 3.0, 4.0])
+        return x_old, x_new, sizes
+
+    def test_exact_fit(self, schemes):
+        x_old, _, sizes = schemes
+        assert exact_fit_capacities(x_old, sizes).tolist() == [5.0, 4.0]
+
+    def test_max_load(self, schemes):
+        x_old, x_new, sizes = schemes
+        caps = max_load_capacities(x_old, x_new, sizes)
+        assert caps.tolist() == [5.0, 7.0]
+
+    def test_extra_slack_count_and_amount(self, schemes):
+        x_old, x_new, sizes = schemes
+        caps = max_load_capacities(x_old, x_new, sizes)
+        out = with_extra_object_slack(caps, sizes, 1, rng=0)
+        assert int((out > caps).sum()) == 1
+        assert (out - caps).max() == 4.0  # largest object size
+
+    def test_extra_slack_custom_amount(self, schemes):
+        x_old, x_new, sizes = schemes
+        caps = max_load_capacities(x_old, x_new, sizes)
+        out = with_extra_object_slack(caps, sizes, 2, rng=0, slack=10.0)
+        assert (out - caps).sum() == 20.0
+
+    def test_extra_slack_zero_servers(self, schemes):
+        x_old, x_new, sizes = schemes
+        caps = max_load_capacities(x_old, x_new, sizes)
+        out = with_extra_object_slack(caps, sizes, 0, rng=0)
+        assert (out == caps).all()
+
+    def test_extra_slack_bad_count(self, schemes):
+        x_old, x_new, sizes = schemes
+        caps = max_load_capacities(x_old, x_new, sizes)
+        with pytest.raises(ConfigurationError):
+            with_extra_object_slack(caps, sizes, 5, rng=0)
+
+    def test_scaled(self, schemes):
+        x_old, x_new, sizes = schemes
+        caps = scaled_capacities(x_old, x_new, sizes, 1.5)
+        assert caps.tolist() == [7.5, 10.5]
+
+    def test_scaled_below_one_rejected(self, schemes):
+        x_old, x_new, sizes = schemes
+        with pytest.raises(ConfigurationError):
+            scaled_capacities(x_old, x_new, sizes, 0.9)

@@ -1,0 +1,122 @@
+"""Tests for the Zipf popularity model and the video-server scenario."""
+
+import numpy as np
+import pytest
+
+from repro.util.errors import ConfigurationError
+from repro.workloads.video import VideoCatalog, VideoRotationModel
+from repro.workloads.zipf import drift_weights, sample_requests, zipf_weights
+
+
+class TestZipfWeights:
+    def test_normalised(self):
+        w = zipf_weights(50, 0.8)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        w = zipf_weights(50, 0.8)
+        assert (np.diff(w) <= 0).all()
+
+    def test_exponent_zero_uniform(self):
+        w = zipf_weights(10, 0.0)
+        assert np.allclose(w, 0.1)
+
+    def test_higher_exponent_more_skew(self):
+        flat = zipf_weights(100, 0.2)
+        steep = zipf_weights(100, 1.5)
+        assert steep[0] > flat[0]
+
+    def test_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            zipf_weights(0)
+        with pytest.raises(ConfigurationError):
+            zipf_weights(5, -1.0)
+
+
+class TestSampleRequests:
+    def test_shape_and_total(self):
+        w = zipf_weights(20)
+        counts = sample_requests(w, 1000, 5, rng=0)
+        assert counts.shape == (5, 20)
+        assert counts.sum() == 1000
+
+    def test_popularity_reflected(self):
+        w = zipf_weights(20, 1.2)
+        counts = sample_requests(w, 20000, 4, rng=1)
+        per_object = counts.sum(axis=0)
+        assert per_object[0] > per_object[-1]
+
+    def test_deterministic(self):
+        w = zipf_weights(10)
+        a = sample_requests(w, 500, 3, rng=5)
+        b = sample_requests(w, 500, 3, rng=5)
+        assert (a == b).all()
+
+
+class TestDriftWeights:
+    def test_mass_preserved(self):
+        w = zipf_weights(30)
+        out = drift_weights(w, 0.3, rng=0)
+        assert out.sum() == pytest.approx(1.0)
+        assert sorted(out.tolist()) == pytest.approx(sorted(w.tolist()))
+
+    def test_zero_drift_identity(self):
+        w = zipf_weights(30)
+        assert (drift_weights(w, 0.0, rng=0) == w).all()
+
+    def test_drift_changes_ranking(self):
+        w = zipf_weights(30)
+        out = drift_weights(w, 0.5, rng=1)
+        assert not (out == w).all()
+
+    def test_bad_drift(self):
+        with pytest.raises(ConfigurationError):
+            drift_weights(zipf_weights(5), 1.5)
+
+
+class TestVideoCatalog:
+    def test_release_tops_charts(self):
+        catalog = VideoCatalog(
+            sizes=np.ones(10), weights=zipf_weights(10, 1.0)
+        )
+        catalog.release(9, rng=0)
+        assert catalog.weights[9] == catalog.weights.max()
+        assert catalog.weights.sum() == pytest.approx(1.0)
+
+    def test_mismatched_shapes(self):
+        with pytest.raises(ConfigurationError):
+            VideoCatalog(sizes=np.ones(3), weights=np.ones(4) / 4)
+
+
+class TestVideoRotationModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return VideoRotationModel(
+            num_servers=8, num_movies=30, capacity_movies=6, rng=3
+        )
+
+    def test_daily_instances_are_valid_rtsp(self, model):
+        inst = model.advance_day()
+        inst.check_feasible()
+        assert inst.num_servers == 8
+        assert inst.num_objects == 30
+
+    def test_placement_advances(self, model):
+        before = model.placement
+        inst = model.advance_day()
+        assert (inst.x_old == before).all()
+        assert (inst.x_new == model.placement).all()
+
+    def test_days_iterator(self, model):
+        instances = list(model.days(2))
+        assert len(instances) == 2
+        # consecutive: day 2's x_old is day 1's x_new
+        assert (instances[1].x_old == instances[0].x_new).all()
+
+    def test_every_movie_always_placed(self, model):
+        inst = model.advance_day()
+        assert (inst.x_new.sum(axis=0) >= 1).all()
+
+    def test_capacity_check(self):
+        with pytest.raises(ConfigurationError):
+            VideoRotationModel(num_servers=2, num_movies=10, capacity_movies=1)
