@@ -78,6 +78,11 @@ def register_optimizer(cls):
 
 def get_builder(name: str) -> ScheduleBuilder:
     """Instantiate the registered builder called ``name`` (case-insensitive)."""
+    if not isinstance(name, str):
+        raise ConfigurationError(
+            f"builder name must be a string, got {type(name).__name__};"
+            f" available: {sorted(_BUILDERS)}"
+        )
     try:
         return _BUILDERS[name.upper()]()
     except KeyError:
@@ -88,6 +93,11 @@ def get_builder(name: str) -> ScheduleBuilder:
 
 def get_optimizer(name: str) -> ScheduleOptimizer:
     """Instantiate the registered optimizer called ``name``."""
+    if not isinstance(name, str):
+        raise ConfigurationError(
+            f"optimizer name must be a string, got {type(name).__name__};"
+            f" available: {sorted(_OPTIMIZERS)}"
+        )
     try:
         return _OPTIMIZERS[name.upper()]()
     except KeyError:

@@ -1,0 +1,66 @@
+"""AR — All Random (paper §4.2).
+
+The unbiased baseline for the cost-aware greedies: at every step AR draws
+uniformly at random from the currently valid pending actions — every
+not-yet-performed superfluous deletion (deletions are always valid) plus
+every outstanding transfer whose target currently has room (the source is
+the nearest replicator at that moment, degrading to the dummy server when
+the object has no live copy). The draw is repeated until both work lists
+are empty.
+
+No deadlock is possible: while deletions remain they are valid choices,
+and once the last deletion is done every server's holdings are a subset
+of its ``X_new`` row, so each remaining transfer fits. Any deletions left
+after the final transfer simply drain out through later draws, so the
+schedule ends with a random-order flush.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import (
+    ScheduleBuilder,
+    append_transfer_from_nearest,
+    register_builder,
+    shuffled_pairs,
+)
+from repro.core.builders.common import has_space
+from repro.model.actions import Delete
+from repro.model.instance import RtspInstance
+from repro.model.schedule import Schedule
+from repro.model.state import SystemState
+from repro.util.rng import ensure_rng
+
+
+@register_builder
+class AllRandom(ScheduleBuilder):
+    """Uniformly random interleaving of valid deletions and transfers."""
+
+    name = "AR"
+
+    def build(self, instance: RtspInstance, rng=None) -> Schedule:
+        gen = ensure_rng(rng)
+        state = SystemState(instance)
+        schedule = Schedule()
+        deletions = shuffled_pairs(instance.superfluous(), gen)
+        transfers = shuffled_pairs(instance.outstanding(), gen)
+        while deletions or transfers:
+            ready = [
+                pos
+                for pos, (target, obj) in enumerate(transfers)
+                if has_space(state, target, obj)
+            ]
+            total = len(deletions) + len(ready)
+            assert total, (
+                "AR is stuck: transfers pending without space and no "
+                "deletion left; X_new would violate a capacity"
+            )
+            draw = int(gen.integers(total))
+            if draw < len(deletions):
+                server, obj = deletions.pop(draw)
+                action = Delete(server, obj)
+                state.apply(action)
+                schedule.append(action)
+            else:
+                target, obj = transfers.pop(ready[draw - len(deletions)])
+                append_transfer_from_nearest(schedule, state, target, obj)
+        return schedule

@@ -1,0 +1,110 @@
+"""Shared bookkeeping for the schedule builders.
+
+Builders drive a single :class:`~repro.model.state.SystemState` forward
+and never replay their own prefix: every decision (nearest source, free
+space, eviction benefit) is answered incrementally by the state. The
+helpers here maintain the two work lists all builders share — pending
+transfers (one per outstanding cell) and pending deletions (one per
+superfluous cell) — plus the benefit-ordered eviction used by the greedy
+builders (GOLCF, GMC) to make room at a transfer target.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.model.actions import Delete
+from repro.model.instance import RtspInstance
+from repro.model.schedule import Schedule
+from repro.model.state import CAPACITY_EPS, SystemState
+
+from repro.core.base import golcf_benefit, shuffled_pairs
+
+
+def pending_transfer_map(
+    instance: RtspInstance, gen
+) -> Tuple[Dict[int, List[int]], Dict[int, Set[int]]]:
+    """Outstanding cells as ``obj -> [targets]`` plus a set-valued mirror.
+
+    The list order is shuffled once so that every tie-break taken by a
+    first-minimum scan is seed-dependent; the set mirror feeds
+    :func:`repro.core.base.golcf_benefit` (which expects ``obj -> set``)
+    and must be kept in sync by the caller as transfers complete.
+    """
+    targets: Dict[int, List[int]] = {}
+    for i, k in shuffled_pairs(instance.outstanding(), gen):
+        targets.setdefault(k, []).append(i)
+    waiting = {k: set(v) for k, v in targets.items()}
+    return targets, waiting
+
+
+def pending_deletion_map(instance: RtspInstance, gen) -> Dict[int, List[int]]:
+    """Superfluous cells as ``server -> [objects]``, shuffled per server."""
+    dels: Dict[int, List[int]] = {}
+    for i, k in shuffled_pairs(instance.superfluous(), gen):
+        dels.setdefault(i, []).append(k)
+    return dels
+
+
+def has_space(state: SystemState, server: int, obj: int) -> bool:
+    """Whether ``server`` can currently receive a copy of ``obj``."""
+    return (
+        state.free_space(server) + CAPACITY_EPS
+        >= float(state.instance.sizes[obj])
+    )
+
+
+def evict_for(
+    schedule: Schedule,
+    state: SystemState,
+    target: int,
+    obj: int,
+    deletions: Dict[int, List[int]],
+    waiting: Dict[int, Set[int]],
+) -> None:
+    """Delete superfluous replicas at ``target`` until ``obj`` fits.
+
+    Victims are chosen by lowest deletion benefit (paper eq. 4): the
+    replica whose disappearance hurts the still-waiting targets least goes
+    first. Ties fall to the earliest entry of the (pre-shuffled) per-server
+    deletion list, so tie-breaking is seed-dependent but deterministic.
+
+    A victim always exists while space is short: every replica held at
+    ``target`` is either part of ``X_old ∩ X_new``, was delivered by an
+    earlier transfer (both within the ``X_new`` row, which fits), or is a
+    not-yet-deleted superfluous replica.
+    """
+    instance = state.instance
+    candidates = deletions.get(target)
+    while not has_space(state, target, obj):
+        assert candidates, (
+            f"no superfluous replica left at S_{target} while O_{obj} "
+            "does not fit; X_new would violate its capacity"
+        )
+        best_pos, best_benefit = 0, None
+        for pos, k in enumerate(candidates):
+            benefit = golcf_benefit(instance, state, target, k, waiting)
+            if best_benefit is None or benefit < best_benefit:
+                best_pos, best_benefit = pos, benefit
+        victim = candidates.pop(best_pos)
+        action = Delete(target, victim)
+        state.apply(action)
+        schedule.append(action)
+
+
+def flush_deletions(
+    schedule: Schedule,
+    state: SystemState,
+    deletions: Dict[int, List[int]],
+    gen,
+) -> None:
+    """Append every still-pending deletion, in a shuffled global order."""
+    leftovers = [
+        (server, obj) for server, objs in deletions.items() for obj in objs
+    ]
+    gen.shuffle(leftovers)
+    for server, obj in leftovers:
+        action = Delete(server, obj)
+        state.apply(action)
+        schedule.append(action)
+    deletions.clear()

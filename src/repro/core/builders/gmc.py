@@ -1,0 +1,68 @@
+"""GMC — Global Minimum Cost First (extension; not in the paper).
+
+An ablation of GOLCF's object-at-a-time rule: GMC drops the contiguity
+constraint and, at every step, performs the globally cheapest pending
+transfer — over *all* objects — given the current state (size times
+nearest-replicator cost). Everything else matches GOLCF: room at the
+chosen target is made by evicting superfluous replicas in increasing
+benefit order (paper eq. 4), and untouched superfluous replicas are
+flushed in random order at the end.
+
+Because eviction only ever happens at the transfer's own target, the
+chosen transfer's cost cannot change between selection and execution,
+and other pending transfers can only get more expensive (a deletion never
+adds a source) — so each executed transfer is provably the cheapest
+pending one at its position in the schedule.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import (
+    ScheduleBuilder,
+    append_transfer_from_nearest,
+    register_builder,
+)
+from repro.core.builders.common import (
+    evict_for,
+    flush_deletions,
+    pending_deletion_map,
+    pending_transfer_map,
+)
+from repro.model.instance import RtspInstance
+from repro.model.schedule import Schedule
+from repro.model.state import SystemState
+from repro.util.rng import ensure_rng
+
+
+@register_builder
+class GlobalMinimumCostFirst(ScheduleBuilder):
+    """Globally cheapest pending transfer each step (GOLCF ablation)."""
+
+    name = "GMC"
+
+    def build(self, instance: RtspInstance, rng=None) -> Schedule:
+        gen = ensure_rng(rng)
+        state = SystemState(instance)
+        schedule = Schedule()
+        targets, waiting = pending_transfer_map(instance, gen)
+        deletions = pending_deletion_map(instance, gen)
+        sizes = instance.sizes
+        remaining = sum(len(pend) for pend in targets.values())
+        while remaining:
+            best_obj, best_pos, best_cost = -1, 0, float("inf")
+            for obj, pend in targets.items():
+                size = float(sizes[obj])
+                for pos, target in enumerate(pend):
+                    cost = size * state.nearest_cost(target, obj)
+                    if cost < best_cost:
+                        best_obj, best_pos, best_cost = obj, pos, cost
+            pend = targets[best_obj]
+            target = pend.pop(best_pos)
+            if not pend:
+                del targets[best_obj]
+            evict_for(schedule, state, target, best_obj, deletions, waiting)
+            append_transfer_from_nearest(schedule, state, target, best_obj)
+            waiting[best_obj].discard(target)
+            remaining -= 1
+        flush_deletions(schedule, state, deletions, gen)
+        return schedule

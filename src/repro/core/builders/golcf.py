@@ -1,0 +1,77 @@
+"""GOLCF — Greedy Object Lowest Cost First (paper §4.2).
+
+The paper's cost-aware builder serves objects one at a time. The next
+object is the owner of the globally cheapest pending transfer (size times
+nearest-replicator cost, evaluated against the *current* state); once an
+object is selected, all of its outstanding targets are served before
+moving on, each step picking the target whose nearest source is cheapest
+at that moment. Serving an object contiguously is the point: the first
+copies delivered immediately become nearby sources for the remaining
+targets of the same object.
+
+Deletions are interleaved on demand. When the chosen target lacks room,
+superfluous replicas at that target are evicted in increasing order of the
+deletion benefit ``B_ik`` (paper eq. 4) — the replica whose loss hurts
+still-waiting targets least goes first. Superfluous replicas nobody
+needed to evict are flushed, in random order, after the last transfer.
+
+All tie-breaks (object selection, target selection, eviction victim) fall
+to the first minimum of a per-seed shuffled work list, so runs are
+deterministic per seed and vary across seeds.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import (
+    ScheduleBuilder,
+    append_transfer_from_nearest,
+    register_builder,
+)
+from repro.core.builders.common import (
+    evict_for,
+    flush_deletions,
+    pending_deletion_map,
+    pending_transfer_map,
+)
+from repro.model.instance import RtspInstance
+from repro.model.schedule import Schedule
+from repro.model.state import SystemState
+from repro.util.rng import ensure_rng
+
+
+@register_builder
+class GreedyObjectLowestCostFirst(ScheduleBuilder):
+    """Cheapest object first, served whole; benefit-ordered evictions."""
+
+    name = "GOLCF"
+
+    def build(self, instance: RtspInstance, rng=None) -> Schedule:
+        gen = ensure_rng(rng)
+        state = SystemState(instance)
+        schedule = Schedule()
+        targets, waiting = pending_transfer_map(instance, gen)
+        deletions = pending_deletion_map(instance, gen)
+        sizes = instance.sizes
+        while targets:
+            best_obj, best_cost = -1, float("inf")
+            for obj, pend in targets.items():
+                size = float(sizes[obj])
+                for target in pend:
+                    cost = size * state.nearest_cost(target, obj)
+                    if cost < best_cost:
+                        best_obj, best_cost = obj, cost
+            pend = targets.pop(best_obj)
+            while pend:
+                best_pos, best_unit = 0, float("inf")
+                for pos, target in enumerate(pend):
+                    unit = state.nearest_cost(target, best_obj)
+                    if unit < best_unit:
+                        best_pos, best_unit = pos, unit
+                target = pend.pop(best_pos)
+                evict_for(
+                    schedule, state, target, best_obj, deletions, waiting
+                )
+                append_transfer_from_nearest(schedule, state, target, best_obj)
+                waiting[best_obj].discard(target)
+        flush_deletions(schedule, state, deletions, gen)
+        return schedule

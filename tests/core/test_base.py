@@ -19,11 +19,19 @@ class TestRegistry:
     def test_all_paper_builders_registered(self):
         assert set(available_builders()) >= {"RDF", "GSDF", "AR", "GOLCF"}
 
+    def test_gmc_extension_registered(self):
+        assert "GMC" in available_builders()
+
     def test_all_paper_optimizers_registered(self):
         assert set(available_optimizers()) >= {"H1", "H2", "OP1"}
 
     def test_get_builder_case_insensitive(self):
         assert get_builder("golcf").name == "GOLCF"
+
+    def test_every_registered_builder_resolves(self):
+        for name in available_builders():
+            builder = get_builder(name.lower())
+            assert builder.name == name
 
     def test_get_optimizer_case_insensitive(self):
         assert get_optimizer("op1").name == "OP1"
@@ -32,9 +40,21 @@ class TestRegistry:
         with pytest.raises(ConfigurationError, match="available"):
             get_builder("NOPE")
 
+    def test_unknown_builder_lists_known_names(self):
+        with pytest.raises(ConfigurationError, match="GOLCF"):
+            get_builder("NOPE")
+
     def test_unknown_optimizer(self):
         with pytest.raises(ConfigurationError):
             get_optimizer("NOPE")
+
+    def test_non_string_builder_name(self):
+        with pytest.raises(ConfigurationError, match="string"):
+            get_builder(3)
+
+    def test_non_string_optimizer_name(self):
+        with pytest.raises(ConfigurationError, match="string"):
+            get_optimizer(None)
 
     def test_fresh_instances_each_call(self):
         assert get_builder("RDF") is not get_builder("RDF")

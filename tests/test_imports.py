@@ -1,0 +1,54 @@
+"""Collection-health smoke tests.
+
+A missing module anywhere under :mod:`repro` used to kill pytest at
+conftest collection (``import repro`` is the first thing the shared
+fixtures do), turning one bad import into zero tests run. These checks
+make such a regression fail as a single readable test instead.
+"""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def test_import_repro():
+    assert repro.__version__
+
+
+def test_all_public_names_resolve():
+    missing = [name for name in repro.__all__ if not hasattr(repro, name)]
+    assert not missing, f"repro.__all__ names that do not resolve: {missing}"
+
+
+def test_star_import_from_core():
+    namespace = {}
+    exec("from repro.core import *", namespace)
+    for name in ("get_builder", "build_pipeline", "GreedyObjectLowestCostFirst"):
+        assert name in namespace
+
+
+@pytest.mark.parametrize(
+    "module",
+    sorted(
+        name
+        for _, name, _ in pkgutil.walk_packages(
+            repro.__path__, prefix="repro."
+        )
+        if not name.split(".")[-1].startswith("__")
+    ),
+)
+def test_every_submodule_imports(module):
+    importlib.import_module(module)
+
+
+def test_paper_builders_available():
+    assert set(repro.available_builders()) >= {
+        "AR",
+        "GMC",
+        "GOLCF",
+        "GSDF",
+        "RDF",
+    }
