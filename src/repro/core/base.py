@@ -178,12 +178,4 @@ def golcf_benefit(
     waiting = pending_targets.get(obj)
     if not waiting:
         return 0.0
-    total = 0.0
-    size = float(instance.sizes[obj])
-    for j in waiting:
-        first, second = state.nearest_pair(j, obj)
-        if first == server:
-            total += size * float(
-                instance.costs[j, second] - instance.costs[j, first]
-            )
-    return total
+    return state.index.keep_benefit(server, obj, waiting)

@@ -17,17 +17,18 @@ schedule ends with a random-order flush.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.base import (
     ScheduleBuilder,
     append_transfer_from_nearest,
     register_builder,
     shuffled_pairs,
 )
-from repro.core.builders.common import has_space
 from repro.model.actions import Delete
 from repro.model.instance import RtspInstance
 from repro.model.schedule import Schedule
-from repro.model.state import SystemState
+from repro.model.state import CAPACITY_EPS, SystemState
 from repro.util.rng import ensure_rng
 
 
@@ -43,13 +44,27 @@ class AllRandom(ScheduleBuilder):
         schedule = Schedule()
         deletions = shuffled_pairs(instance.superfluous(), gen)
         transfers = shuffled_pairs(instance.outstanding(), gen)
-        while deletions or transfers:
-            ready = [
-                pos
-                for pos, (target, obj) in enumerate(transfers)
-                if has_space(state, target, obj)
-            ]
-            total = len(deletions) + len(ready)
+        # The per-step "which transfers currently fit" scan, vectorized:
+        # pending transfers live in fixed (shuffled) positions with an
+        # alive mask, so the ready positions come from one masked
+        # comparison of free space against object sizes — in the same
+        # order the scalar list scan produced, keeping the draw sequence
+        # (and therefore the schedule) identical per seed.
+        t_target = np.fromiter(
+            (t for t, _ in transfers), dtype=np.intp, count=len(transfers)
+        )
+        t_obj = np.fromiter(
+            (k for _, k in transfers), dtype=np.intp, count=len(transfers)
+        )
+        t_size = instance.sizes[t_obj]
+        alive = np.ones(len(transfers), dtype=bool)
+        n_alive = len(transfers)
+        free = state.free_array()
+        while deletions or n_alive:
+            ready = np.flatnonzero(
+                alive & (free[t_target] + CAPACITY_EPS >= t_size)
+            )
+            total = len(deletions) + ready.size
             assert total, (
                 "AR is stuck: transfers pending without space and no "
                 "deletion left; X_new would violate a capacity"
@@ -61,6 +76,10 @@ class AllRandom(ScheduleBuilder):
                 state.apply(action)
                 schedule.append(action)
             else:
-                target, obj = transfers.pop(ready[draw - len(deletions)])
-                append_transfer_from_nearest(schedule, state, target, obj)
+                pos = int(ready[draw - len(deletions)])
+                alive[pos] = False
+                n_alive -= 1
+                append_transfer_from_nearest(
+                    schedule, state, int(t_target[pos]), int(t_obj[pos])
+                )
         return schedule

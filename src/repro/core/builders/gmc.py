@@ -23,6 +23,8 @@ from repro.core.base import (
     register_builder,
 )
 from repro.core.builders.common import (
+    EvictionBenefitCache,
+    PendingTransferSelector,
     evict_for,
     flush_deletions,
     pending_deletion_map,
@@ -46,23 +48,26 @@ class GlobalMinimumCostFirst(ScheduleBuilder):
         schedule = Schedule()
         targets, waiting = pending_transfer_map(instance, gen)
         deletions = pending_deletion_map(instance, gen)
-        sizes = instance.sizes
-        remaining = sum(len(pend) for pend in targets.values())
-        while remaining:
-            best_obj, best_pos, best_cost = -1, 0, float("inf")
-            for obj, pend in targets.items():
-                size = float(sizes[obj])
-                for pos, target in enumerate(pend):
-                    cost = size * state.nearest_cost(target, obj)
-                    if cost < best_cost:
-                        best_obj, best_pos, best_cost = obj, pos, cost
-            pend = targets[best_obj]
-            target = pend.pop(best_pos)
-            if not pend:
-                del targets[best_obj]
-            evict_for(schedule, state, target, best_obj, deletions, waiting)
+        selector = PendingTransferSelector(state, targets)
+        benefits = EvictionBenefitCache(state, waiting)
+        while not selector.exhausted:
+            best_obj, best_pos, target = selector.best()
+            selector.pop_target(best_obj, best_pos)
+            victims = evict_for(
+                schedule,
+                state,
+                target,
+                best_obj,
+                deletions,
+                waiting,
+                benefit_cache=benefits,
+            )
+            for victim in victims:
+                selector.mark_dirty(victim)
             append_transfer_from_nearest(schedule, state, target, best_obj)
+            # The delivered copy is a new source for the object's
+            # remaining pending targets.
+            selector.mark_dirty(best_obj)
             waiting[best_obj].discard(target)
-            remaining -= 1
         flush_deletions(schedule, state, deletions, gen)
         return schedule

@@ -28,6 +28,8 @@ from repro.core.base import (
     register_builder,
 )
 from repro.core.builders.common import (
+    EvictionBenefitCache,
+    PendingTransferSelector,
     evict_for,
     flush_deletions,
     pending_deletion_map,
@@ -51,26 +53,31 @@ class GreedyObjectLowestCostFirst(ScheduleBuilder):
         schedule = Schedule()
         targets, waiting = pending_transfer_map(instance, gen)
         deletions = pending_deletion_map(instance, gen)
-        sizes = instance.sizes
-        while targets:
-            best_obj, best_cost = -1, float("inf")
-            for obj, pend in targets.items():
-                size = float(sizes[obj])
-                for target in pend:
-                    cost = size * state.nearest_cost(target, obj)
-                    if cost < best_cost:
-                        best_obj, best_cost = obj, cost
+        selector = PendingTransferSelector(state, targets)
+        benefits = EvictionBenefitCache(state, waiting)
+        while not selector.exhausted:
+            best_obj, _, _ = selector.best()
             pend = targets.pop(best_obj)
+            selector.pop_object(best_obj)
             while pend:
-                best_pos, best_unit = 0, float("inf")
-                for pos, target in enumerate(pend):
-                    unit = state.nearest_cost(target, best_obj)
-                    if unit < best_unit:
+                # Cheapest target of the chosen object at this moment.
+                best_pos, best_unit = 0, None
+                for pos, t in enumerate(pend):
+                    unit = state.nearest_cost(t, best_obj)
+                    if best_unit is None or unit < best_unit:
                         best_pos, best_unit = pos, unit
                 target = pend.pop(best_pos)
-                evict_for(
-                    schedule, state, target, best_obj, deletions, waiting
+                victims = evict_for(
+                    schedule,
+                    state,
+                    target,
+                    best_obj,
+                    deletions,
+                    waiting,
+                    benefit_cache=benefits,
                 )
+                for victim in victims:
+                    selector.mark_dirty(victim)
                 append_transfer_from_nearest(schedule, state, target, best_obj)
                 waiting[best_obj].discard(target)
         flush_deletions(schedule, state, deletions, gen)

@@ -102,19 +102,37 @@ class ArrayState:
         return True
 
     def nearest(self, target: int, obj: int, exclude: int = -1) -> int:
-        """Cheapest current source of ``obj`` for ``target`` (dummy fallback)."""
+        """Cheapest current source of ``obj`` for ``target`` (dummy fallback).
+
+        Adaptive like :class:`repro.model.nearest.NearestSourceIndex`: a
+        scalar scan of the holder column for the typical handful of
+        replicas, one masked gather + first-minimum argmin when the
+        column is dense. Both branches implement the same contract as
+        :meth:`repro.model.state.SystemState.nearest` — ties break to the
+        lowest server index and a real holder beats an equal-cost dummy
+        (``np.flatnonzero`` yields holders in ascending index order, so
+        the first minimum is already the lowest-index tie-winner).
+        """
         inst = self.instance
         holders = np.flatnonzero(self.placement[:, obj])
-        best = inst.dummy
-        best_cost = float(inst.costs[target, best])
-        for j in holders:
-            j = int(j)
-            if j == target or j == exclude:
-                continue
-            c = float(inst.costs[target, j])
-            if c < best_cost or (c == best_cost and j < best):
-                best, best_cost = j, c
-        return best
+        if holders.size <= 16:
+            row = inst.costs[target]
+            best, best_cost = inst.dummy, row[inst.dummy]
+            for j in holders:
+                if j == target or j == exclude:
+                    continue
+                c = row[j]
+                if c < best_cost or (c == best_cost and j < best):
+                    best, best_cost = int(j), c
+            return best
+        holders = holders[(holders != target) & (holders != exclude)]
+        if holders.size == 0:
+            return inst.dummy
+        costs = inst.costs[target, holders]
+        pos = int(np.argmin(costs))
+        if float(costs[pos]) <= float(inst.costs[target, inst.dummy]):
+            return int(holders[pos])
+        return inst.dummy
 
 
 def capture_states(

@@ -49,6 +49,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None, help="override the base seed"
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "run repetitions on N worker processes (results are "
+            "bit-identical to a serial run; default serial)"
+        ),
+    )
+    parser.add_argument(
         "--csv-dir", default=None, help="also write <figure>.csv files here"
     )
     parser.add_argument(
@@ -76,7 +85,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     progress = None if args.quiet else lambda line: print("  " + line, flush=True)
     for spec in specs:
-        result = run_figure(spec, scale, repetitions=args.reps, progress=progress)
+        result = run_figure(
+            spec,
+            scale,
+            repetitions=args.reps,
+            progress=progress,
+            workers=args.workers,
+        )
         print()
         print(render_table(result))
         if args.chart:

@@ -4,13 +4,21 @@ Each experiment cell ``(workload, x, repetition)`` derives its own seed
 from the scale's base seed, so figures sharing a workload key (e.g. the
 dummy-count and cost views of the same experiment) run their pipelines on
 *identical* instances, and any cell can be reproduced in isolation.
+
+Because every repetition is seeded independently of execution order, the
+sweep parallelizes embarrassingly: ``run_figure(..., workers=N)`` fans
+the ``(x, repetition)`` grid out over a process pool and reassembles the
+results in deterministic order, producing *bit-identical* figures to a
+serial run (verified by the test suite).
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -60,18 +68,107 @@ class FigureResult:
         raise KeyError((x, pipeline))
 
 
+#: Inherited by forked pool workers (set just before the pool starts, so
+#: the spec — which may close over non-picklable factories — never needs
+#: to cross a pickle boundary).
+_WORKER_CONTEXT: Optional[Tuple[FigureSpec, ExperimentScale]] = None
+
+
+def _cell_value(spec: FigureSpec, stats) -> float:
+    return (
+        float(stats.num_dummy_transfers)
+        if spec.metric == "dummy_transfers"
+        else stats.cost
+    )
+
+
+def _run_repetition(task: Tuple[float, int]) -> Tuple[float, int, Dict[str, Tuple[float, float]]]:
+    """Pool worker: run every pipeline of one ``(x, repetition)`` cell.
+
+    Seeds are derived exactly as in the serial loop, so the produced
+    values are independent of which worker runs the task and when.
+    """
+    x, rep = task
+    spec, scale = _WORKER_CONTEXT
+    seed = derive_seed(scale.base_seed, spec.workload_key, scale.name, x, rep)
+    instance = spec.make_instance(x, scale, seed)
+    run_seed = derive_seed(scale.base_seed, "pipeline", spec.workload_key, x, rep)
+    out: Dict[str, Tuple[float, float]] = {}
+    for name in spec.pipelines:
+        t0 = time.perf_counter()
+        schedule = build_pipeline(name).run(instance, rng=run_seed)
+        stats = schedule_stats(schedule, instance)
+        out[name] = (_cell_value(spec, stats), time.perf_counter() - t0)
+    return x, rep, out
+
+
+def _run_figure_parallel(
+    spec: FigureSpec,
+    scale: ExperimentScale,
+    reps: int,
+    progress: Optional[Callable[[str], None]],
+    workers: int,
+) -> FigureResult:
+    """Fan the ``(x, repetition)`` grid over a fork-based process pool."""
+    global _WORKER_CONTEXT
+    result = FigureResult(spec=spec, scale=scale)
+    t_start = time.perf_counter()
+    tasks = [(x, rep) for x in spec.x_values for rep in range(reps)]
+    ctx = multiprocessing.get_context("fork")
+    _WORKER_CONTEXT = (spec, scale)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, max(len(tasks), 1)), mp_context=ctx
+        ) as pool:
+            by_cell = {
+                (x, rep): out for x, rep, out in pool.map(_run_repetition, tasks)
+            }
+    finally:
+        _WORKER_CONTEXT = None
+    # Reassemble in the serial loop's deterministic order.
+    for x in spec.x_values:
+        for name in spec.pipelines:
+            samples = [by_cell[(x, rep)][name] for rep in range(reps)]
+            cell = CellResult(
+                x=x,
+                pipeline=name,
+                values=[value for value, _ in samples],
+                seconds=sum(dt for _, dt in samples),
+            )
+            result.cells.append(cell)
+            if progress is not None:
+                progress(
+                    f"{spec.figure_id} x={x:g} {name}: "
+                    f"mean={cell.mean:.6g} ({cell.seconds:.1f}s)"
+                )
+    result.seconds = time.perf_counter() - t_start
+    return result
+
+
 def run_figure(
     spec: FigureSpec,
     scale: ExperimentScale,
     repetitions: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
+    workers: Optional[int] = None,
 ) -> FigureResult:
     """Run every cell of ``spec`` at ``scale``.
 
     ``repetitions`` overrides the scale's default; ``progress`` (if given)
-    receives one human-readable line per completed cell.
+    receives one human-readable line per completed cell. ``workers`` > 1
+    distributes repetitions over a process pool; results are bit-identical
+    to a serial run because every cell's seed is position-derived (on
+    platforms without the ``fork`` start method the runner silently falls
+    back to serial execution).
     """
     reps = repetitions if repetitions is not None else scale.repetitions
+    if workers is not None and workers > 1:
+        try:
+            multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            pass
+        else:
+            return _run_figure_parallel(spec, scale, reps, progress, workers)
     pipelines = {name: build_pipeline(name) for name in spec.pipelines}
     result = FigureResult(spec=spec, scale=scale)
     t_start = time.perf_counter()

@@ -7,6 +7,8 @@
   (loads, outstanding/superfluous masks, feasibility),
 * :mod:`repro.model.state` — the mutable simulation state machine with
   nearest-replicator queries,
+* :mod:`repro.model.nearest` — the vectorized incremental nearest-source
+  index those queries run on,
 * :mod:`repro.model.schedule` — action sequences, replay, validation and
   cost accounting.
 """
@@ -21,6 +23,7 @@ from repro.model.placement import (
     placement_fits,
     replica_counts,
 )
+from repro.model.nearest import NearestSourceIndex, nearest_bruteforce
 from repro.model.state import SystemState
 from repro.model.schedule import Schedule, ValidationReport
 
@@ -37,6 +40,8 @@ __all__ = [
     "overlap_fraction",
     "placement_fits",
     "replica_counts",
+    "NearestSourceIndex",
+    "nearest_bruteforce",
     "SystemState",
     "Schedule",
     "ValidationReport",

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.model.actions import Action, Delete, Transfer
 from repro.model.instance import RtspInstance
+from repro.model.nearest import NearestSourceIndex
 from repro.util.errors import InvalidActionError
 
 #: Numerical slack for storage comparisons (sizes are usually integers,
@@ -45,6 +46,7 @@ class SystemState:
         self.instance = instance
         start = instance.x_old if placement is None else placement
         m, n = instance.num_servers, instance.num_objects
+        self._dummy = instance.dummy
         if start.shape != (m, n):
             raise ValueError(f"placement must be {m}x{n}, got {start.shape}")
         self._holds = np.array(start, dtype=np.int8, copy=True)
@@ -56,14 +58,17 @@ class SystemState:
         self._replicators: List[Set[int]] = [
             set(np.flatnonzero(self._holds[:, k]).tolist()) for k in range(n)
         ]
+        self._index = NearestSourceIndex(
+            instance, self._holds, self._replicators
+        )
 
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     @property
     def dummy(self) -> int:
-        """Index of the dummy server."""
-        return self.instance.dummy
+        """Index of the dummy server (cached; queried on every action)."""
+        return self._dummy
 
     def holds(self, server: int, obj: int) -> bool:
         """Whether ``server`` currently replicates ``obj``.
@@ -79,6 +84,12 @@ class SystemState:
         if server == self.dummy:
             return float("inf")
         return float(self._free[server])
+
+    def free_array(self) -> np.ndarray:
+        """Read-only view of per-server free storage (real servers only)."""
+        view = self._free.view()
+        view.setflags(write=False)
+        return view
 
     def replicators(self, obj: int) -> FrozenSet[int]:
         """Real servers currently replicating ``obj`` (dummy excluded)."""
@@ -99,6 +110,11 @@ class SystemState:
     # ------------------------------------------------------------------
     # nearest-replicator queries (paper's N(i,k,X) and N2(i,k,X))
     # ------------------------------------------------------------------
+    @property
+    def index(self) -> NearestSourceIndex:
+        """The incremental nearest-source index backing the queries below."""
+        return self._index
+
     def nearest(
         self, server: int, obj: int, exclude: Iterable[int] = ()
     ) -> int:
@@ -108,17 +124,7 @@ class SystemState:
         exists. ``server`` itself is never a candidate. Ties break toward
         the lowest server index for determinism.
         """
-        costs_row = self.instance.costs[server]
-        banned = set(exclude)
-        banned.add(server)
-        best, best_cost = self.dummy, float(costs_row[self.dummy])
-        for j in self._replicators[obj]:
-            if j in banned:
-                continue
-            c = float(costs_row[j])
-            if c < best_cost or (c == best_cost and j < best):
-                best, best_cost = j, c
-        return best
+        return self._index.nearest(server, obj, exclude)
 
     def nearest_pair(self, server: int, obj: int) -> Tuple[int, int]:
         """``(N(i,k,X), N2(i,k,X))``: nearest and second-nearest sources.
@@ -126,15 +132,20 @@ class SystemState:
         Either entry degrades to the dummy index when fewer than one / two
         real replicators exist.
         """
-        first = self.nearest(server, obj)
-        if first == self.dummy:
-            return first, self.dummy
-        second = self.nearest(server, obj, exclude=(first,))
-        return first, second
+        return self._index.nearest_pair(server, obj)
 
     def nearest_cost(self, server: int, obj: int) -> float:
         """Per-unit cost to the nearest current source of ``obj``."""
-        return float(self.instance.costs[server, self.nearest(server, obj)])
+        return self._index.nearest_cost(server, obj)
+
+    def nearest_costs(self, obj: int) -> np.ndarray:
+        """Per-server unit cost to the nearest current source of ``obj``.
+
+        One cached vector over every possible target (index ``i`` is the
+        cost ``l_{i,N(i,k,X)}``); recomputed lazily after mutations of
+        ``obj``'s replicator set. Treat as read-only.
+        """
+        return self._index.nearest_cost_row(obj)
 
     # ------------------------------------------------------------------
     # action semantics
@@ -205,11 +216,31 @@ class SystemState:
             self._holds[i, k] = 1
             self._free[i] -= self.instance.sizes[k]
             self._replicators[k].add(i)
+            self._index.add_holder(k, i)
         else:
             i, k = action.server, action.obj
             self._holds[i, k] = 0
             self._free[i] += self.instance.sizes[k]
             self._replicators[k].discard(i)
+            self._index.remove_holder(k, i)
+
+    def _check_undoable(self, action: Action, mutated_server: int) -> None:
+        """Shared bounds/dummy guard for both ``undo`` branches.
+
+        ``apply`` funnels every action through :meth:`explain_invalid`;
+        ``undo`` historically did not, so out-of-range indices could
+        corrupt state through numpy wrap-around (negative indices) or
+        raise a bare ``IndexError``, and the dummy server's row — which
+        does not exist in the placement matrix — could be addressed.
+        """
+        bounds = self._out_of_range(action)
+        if bounds is not None:
+            raise InvalidActionError(f"cannot undo {action}: {bounds}")
+        if mutated_server == self.dummy:
+            raise InvalidActionError(
+                f"cannot undo {action}: the dummy server's holdings are "
+                "immutable"
+            )
 
     def undo(self, action: Action) -> None:
         """Invert a previously applied ``action``.
@@ -220,13 +251,16 @@ class SystemState:
         """
         if isinstance(action, Transfer):
             i, k = action.target, action.obj
+            self._check_undoable(action, i)
             if not self._holds[i, k]:
                 raise InvalidActionError(f"cannot undo {action}: replica absent")
             self._holds[i, k] = 0
             self._free[i] += self.instance.sizes[k]
             self._replicators[k].discard(i)
+            self._index.remove_holder(k, i)
         elif isinstance(action, Delete):
             i, k = action.server, action.obj
+            self._check_undoable(action, i)
             if self._holds[i, k]:
                 raise InvalidActionError(f"cannot undo {action}: replica present")
             if self._free[i] + CAPACITY_EPS < self.instance.sizes[k]:
@@ -234,6 +268,7 @@ class SystemState:
             self._holds[i, k] = 1
             self._free[i] -= self.instance.sizes[k]
             self._replicators[k].add(i)
+            self._index.add_holder(k, i)
         else:
             raise InvalidActionError(f"unknown action type {type(action).__name__}")
 
@@ -244,9 +279,11 @@ class SystemState:
         """Deep copy (the shared immutable instance is not duplicated)."""
         dup = object.__new__(SystemState)
         dup.instance = self.instance
+        dup._dummy = self._dummy
         dup._holds = self._holds.copy()
         dup._free = self._free.copy()
         dup._replicators = [set(s) for s in self._replicators]
+        dup._index = self._index.copy(dup._holds, dup._replicators)
         return dup
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

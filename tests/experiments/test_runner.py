@@ -76,6 +76,41 @@ class TestRunFigure:
         assert all(c.seconds >= 0 for c in result.cells)
 
 
+class TestParallelRunFigure:
+    def test_bit_identical_to_serial(self):
+        spec = tiny_spec()
+        serial = run_figure(spec, TINY)
+        parallel = run_figure(spec, TINY, workers=4)
+        assert len(serial.cells) == len(parallel.cells)
+        for cs, cp in zip(serial.cells, parallel.cells):
+            assert (cs.x, cs.pipeline) == (cp.x, cp.pipeline)
+            assert cs.values == cp.values  # exact float equality
+
+    def test_dummy_metric_bit_identical(self):
+        spec = tiny_spec(metric="dummy_transfers")
+        serial = run_figure(spec, TINY)
+        parallel = run_figure(spec, TINY, workers=2)
+        for cs, cp in zip(serial.cells, parallel.cells):
+            assert cs.values == cp.values
+
+    def test_repetition_override_parallel(self):
+        result = run_figure(tiny_spec(), TINY, repetitions=1, workers=2)
+        assert all(len(c.values) == 1 for c in result.cells)
+
+    def test_progress_callback_parallel(self):
+        lines = []
+        run_figure(tiny_spec(), TINY, workers=2, progress=lines.append)
+        assert len(lines) == 4
+        assert all("figT" in line for line in lines)
+
+    def test_workers_one_stays_serial(self):
+        spec = tiny_spec()
+        a = run_figure(spec, TINY, workers=1)
+        b = run_figure(spec, TINY)
+        for ca, cb in zip(a.cells, b.cells):
+            assert ca.values == cb.values
+
+
 class TestCellResult:
     def test_mean_std(self):
         cell = CellResult(x=1, pipeline="p", values=[2.0, 4.0], seconds=0.0)

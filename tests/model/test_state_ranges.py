@@ -61,3 +61,57 @@ class TestOutOfRangeActions:
         assert not report.ok
         assert report.position == 1
         assert "out of range" in report.message
+
+
+class TestOutOfRangeUndo:
+    """``undo`` must apply the same bounds/dummy hardening as ``apply``.
+
+    Historically only ``apply`` funnelled through ``explain_invalid``;
+    ``undo`` indexed the placement matrix directly, so a negative server
+    id silently mutated the wrong row via numpy wrap-around and an
+    oversized one raised a bare ``IndexError``.
+    """
+
+    @pytest.mark.parametrize(
+        "action",
+        [
+            Transfer(0, 0, 99),
+            Transfer(99, 0, 0),
+            Transfer(0, 99, 1),
+            Delete(99, 0),
+            Delete(0, 99),
+            Transfer(-3, 0, 0),
+            Delete(0, -1),
+            Delete(-1, 0),
+        ],
+    )
+    def test_rejected_with_reason(self, inst, action):
+        from repro.util.errors import InvalidActionError
+
+        state = SystemState(inst)
+        before = state.placement()
+        with pytest.raises(InvalidActionError, match="out of range"):
+            state.undo(action)
+        # State must be untouched — in particular no wrap-around write.
+        assert np.array_equal(state.placement(), before)
+
+    @pytest.mark.parametrize(
+        "action", [Transfer(2, 0, 0), Delete(2, 1)]
+    )
+    def test_dummy_mutation_rejected(self, inst, action):
+        """The dummy's holdings are immutable; undo may not address its
+        (non-existent) placement row."""
+        from repro.util.errors import InvalidActionError
+
+        state = SystemState(inst)
+        assert action.obj is not None  # sanity: actions address the dummy
+        with pytest.raises(InvalidActionError, match="dummy"):
+            state.undo(action)
+
+    def test_valid_undo_still_works(self, inst):
+        state = SystemState(inst)
+        action = Delete(0, 0)
+        state.apply(action)
+        state.undo(action)
+        assert state.holds(0, 0)
+        assert np.array_equal(state.placement(), inst.x_old)
