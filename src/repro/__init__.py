@@ -26,6 +26,7 @@ Package map
   of ``X_new``)
 * :mod:`repro.npc` — the Knapsack→RTSP reduction of §3.4
 * :mod:`repro.experiments` — the figure-reproduction harness
+* :mod:`repro.robust` — fault injection and online schedule repair
 """
 
 from repro.model import (
@@ -68,12 +69,20 @@ from repro.network import (
     extend_with_dummy,
 )
 from repro.workloads import paper_instance, regular_placement_pair
+from repro.robust import (
+    FaultPlan,
+    RepairEngine,
+    RepairPolicy,
+    RepairReport,
+    execute_with_repair,
+)
 from repro.util.errors import (
     CapacityError,
     ConfigurationError,
     InfeasibleInstanceError,
     InvalidActionError,
     InvalidScheduleError,
+    RepairExhaustedError,
     RtspError,
 )
 
@@ -119,11 +128,18 @@ __all__ = [
     # workloads
     "paper_instance",
     "regular_placement_pair",
+    # robust
+    "FaultPlan",
+    "RepairEngine",
+    "RepairPolicy",
+    "RepairReport",
+    "execute_with_repair",
     # errors
     "RtspError",
     "ConfigurationError",
     "InvalidActionError",
     "InvalidScheduleError",
     "InfeasibleInstanceError",
+    "RepairExhaustedError",
     "CapacityError",
 ]

@@ -28,7 +28,9 @@ from repro.analysis.bounds import (
     worst_case_upper_bound,
 )
 from repro.analysis.metrics import (
+    RepairStats,
     ScheduleStats,
+    repair_stats,
     schedule_stats,
     implementation_cost,
     count_dummy_transfers,
@@ -49,6 +51,8 @@ __all__ = [
     "universal_lower_bound",
     "nearest_source_bound",
     "worst_case_upper_bound",
+    "RepairStats",
+    "repair_stats",
     "ScheduleStats",
     "schedule_stats",
     "implementation_cost",

@@ -27,6 +27,7 @@ from repro.analysis.transfer_graph import (
     sole_source_arcs,
 )
 from repro.model.instance import RtspInstance
+from repro.util.errors import InfeasibleInstanceError
 
 
 @dataclass(frozen=True)
@@ -103,7 +104,10 @@ def analyze_feasibility(instance: RtspInstance) -> FeasibilitySummary:
     try:
         instance.check_feasible()
         storage_ok = True
-    except Exception:
+    except InfeasibleInstanceError:
+        # Only genuine storage violations mean "infeasible"; programming
+        # errors (typos, shape mismatches) must propagate, not be
+        # misreported as an infeasible instance.
         storage_ok = False
     slack = instance.capacities - instance.old_loads()
     outstanding = instance.outstanding()

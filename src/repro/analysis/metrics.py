@@ -2,7 +2,9 @@
 
 The paper reports two quantities per experiment cell: the number of dummy
 transfers left in the schedule and the implementation cost. This module
-computes those plus auxiliary statistics the extended harness records.
+computes those plus auxiliary statistics the extended harness records,
+including repair-overhead metrics for fault-injected executions
+(:func:`repair_stats`).
 """
 
 from __future__ import annotations
@@ -78,4 +80,71 @@ def schedule_stats(schedule: Schedule, instance: RtspInstance) -> ScheduleStats:
         cost=cost,
         dummy_cost_share=(dummy_cost / cost) if cost > 0 else 0.0,
         max_position_dummy=last_dummy_pos,
+    )
+
+
+@dataclass(frozen=True)
+class RepairStats:
+    """Overhead of a fault-injected, repaired execution vs fault-free.
+
+    Attributes
+    ----------
+    cost_overhead:
+        ``(applied + wasted cost) / fault_free_cost - 1`` — the extra
+        communication paid for the same transition (0 when no faults
+        fired; 0 by convention when the fault-free cost is zero).
+    wasted_cost:
+        Cost burnt on failed attempts and aborted in-flight transfers.
+    repair_rounds:
+        Number of re-planning rounds the engine ran.
+    dummy_fallbacks:
+        Dummy transfers beyond the fault-free schedule's count — the
+        graceful-degradation paths taken because real sources were gone.
+    makespan_stretch:
+        Repaired wall-clock over fault-free makespan (1.0 when unhurt;
+        1.0 by convention when the fault-free makespan is zero).
+    """
+
+    cost_overhead: float
+    wasted_cost: float
+    repair_rounds: int
+    dummy_fallbacks: int
+    makespan_stretch: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dict view for CSV/JSON writers."""
+        return {
+            "cost_overhead": self.cost_overhead,
+            "wasted_cost": self.wasted_cost,
+            "repair_rounds": self.repair_rounds,
+            "dummy_fallbacks": self.dummy_fallbacks,
+            "makespan_stretch": self.makespan_stretch,
+        }
+
+
+def repair_stats(report) -> RepairStats:
+    """Summarise a :class:`repro.robust.RepairReport` as overhead metrics.
+
+    Accepts the report duck-typed (only its numeric fields are read), so
+    :mod:`repro.analysis` does not import :mod:`repro.robust`.
+    """
+    spent = report.total_cost + report.wasted_cost
+    overhead = (
+        spent / report.fault_free_cost - 1.0
+        if report.fault_free_cost > 0
+        else 0.0
+    )
+    stretch = (
+        report.makespan / report.fault_free_makespan
+        if report.fault_free_makespan > 0
+        else 1.0
+    )
+    return RepairStats(
+        cost_overhead=overhead,
+        wasted_cost=report.wasted_cost,
+        repair_rounds=report.rounds,
+        dummy_fallbacks=max(
+            0, report.dummy_transfers - report.fault_free_dummy_transfers
+        ),
+        makespan_stretch=stretch,
     )

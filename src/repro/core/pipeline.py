@@ -17,6 +17,7 @@ from repro.core.base import (
     get_optimizer,
 )
 from repro.model.instance import RtspInstance
+from repro.model.residual import residual_instance
 from repro.model.schedule import Schedule
 from repro.util.errors import ConfigurationError
 from repro.util.rng import ensure_rng
@@ -69,6 +70,18 @@ class Pipeline:
                 schedule = opt.optimize(instance, schedule, rng=gen)
             stats.append(self._stage_result(opt.name, schedule, instance, watch))
         return schedule, stats
+
+    def replan(self, instance: RtspInstance, placement, rng=None) -> Schedule:
+        """Re-plan the remainder of a transition from a mid-flight state.
+
+        ``placement`` is the current replication matrix of a partially
+        executed (possibly fault-mutated) system. The pipeline runs on the
+        residual instance ``placement -> X_new``; the returned schedule is
+        valid against that residual, i.e. applying it to the mid-flight
+        state reaches ``instance.x_new``. Used by
+        :class:`repro.robust.RepairEngine` after every detected failure.
+        """
+        return self.run(residual_instance(instance, placement), rng=rng)
 
     @staticmethod
     def _stage_result(

@@ -5,6 +5,8 @@
 * :mod:`repro.experiments.figures` — one spec per paper figure,
 * :mod:`repro.experiments.runner` — seed-stable sweep execution,
 * :mod:`repro.experiments.report` — ASCII tables and CSV output,
+* :mod:`repro.experiments.robust_sweep` — fault-injection failure-rate
+  sweep (repair overhead vs fault rate),
 * :mod:`repro.experiments.cli` — ``python -m repro.experiments``.
 """
 
@@ -12,6 +14,11 @@ from repro.experiments.config import ExperimentScale, FigureSpec, SCALES
 from repro.experiments.runner import run_figure, FigureResult, CellResult
 from repro.experiments.figures import FIGURES, get_figure
 from repro.experiments.report import render_table, render_csv
+from repro.experiments.robust_sweep import (
+    RobustCell,
+    RobustSweepResult,
+    run_robust_sweep,
+)
 from repro.experiments.scenario import run_scenario, ScenarioResult, EpochResult
 
 __all__ = [
@@ -25,6 +32,9 @@ __all__ = [
     "get_figure",
     "render_table",
     "render_csv",
+    "RobustCell",
+    "RobustSweepResult",
+    "run_robust_sweep",
     "run_scenario",
     "ScenarioResult",
     "EpochResult",

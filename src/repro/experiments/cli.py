@@ -10,11 +10,17 @@ Regenerate every figure at the paper's scale (50 servers, 1000 objects;
 budget ~an hour of CPU), writing CSVs next to the tables::
 
     python -m repro.experiments --figure all --scale paper --csv-dir results/
+
+Run the robustness failure-rate sweep (fault injection + online repair)::
+
+    python -m repro.experiments --figure robust --scale small \
+        --fault-rate 0.05,0.1,0.2 --fault-seed 7 --csv-dir results/
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
@@ -22,7 +28,14 @@ from typing import List, Optional
 from repro.experiments.config import SCALES, get_scale
 from repro.experiments.figures import FIGURES, get_figure
 from repro.experiments.report import render_ascii_chart, render_csv, render_table
+from repro.experiments.robust_sweep import (
+    DEFAULT_RATES,
+    render_robust_csv,
+    render_robust_table,
+    run_robust_sweep,
+)
 from repro.experiments.runner import run_figure
+from repro.util.errors import ConfigurationError
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -34,7 +47,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--figure",
         default="all",
-        help="figure to run: 4..9, fig4..fig9, or 'all' (default)",
+        help=(
+            "figure to run: 4..9, fig4..fig9, 'all' (default), or "
+            "'robust' for the fault-injection failure-rate sweep"
+        ),
     )
     parser.add_argument(
         "--scale",
@@ -61,6 +77,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv-dir", default=None, help="also write <figure>.csv files here"
     )
     parser.add_argument(
+        "--fault-rate",
+        default=None,
+        help=(
+            "comma-separated fault rates for --figure robust "
+            f"(default {','.join(str(r) for r in DEFAULT_RATES)})"
+        ),
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for fault-plan generation in --figure robust (default 0)",
+    )
+    parser.add_argument(
         "--chart", action="store_true", help="print ASCII charts too"
     )
     parser.add_argument(
@@ -78,12 +108,16 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         scale = replace(scale, base_seed=args.seed)
 
+    progress = None if args.quiet else lambda line: print("  " + line, flush=True)
+
+    if args.figure.lower() == "robust":
+        return _run_robust(args, scale, progress)
+
     if args.figure.lower() == "all":
         specs = [FIGURES[key] for key in sorted(FIGURES)]
     else:
         specs = [get_figure(args.figure)]
 
-    progress = None if args.quiet else lambda line: print("  " + line, flush=True)
     for spec in specs:
         result = run_figure(
             spec,
@@ -102,6 +136,40 @@ def main(argv: Optional[List[str]] = None) -> int:
             with open(path, "w", encoding="utf-8") as fh:
                 fh.write(render_csv(result))
             print(f"wrote {path}")
+    return 0
+
+
+def _run_robust(args, scale, progress) -> int:
+    """Handle ``--figure robust``: the failure-rate sweep."""
+    if args.fault_rate is None:
+        rates = list(DEFAULT_RATES)
+    else:
+        try:
+            rates = [float(part) for part in args.fault_rate.split(",") if part]
+        except ValueError:
+            raise ConfigurationError(
+                f"--fault-rate must be comma-separated floats, "
+                f"got {args.fault_rate!r}"
+            ) from None
+    result = run_robust_sweep(
+        scale,
+        rates=rates,
+        repetitions=args.reps,
+        fault_seed=args.fault_seed,
+        progress=progress,
+    )
+    print()
+    print(render_robust_table(result))
+    if args.csv_dir:
+        os.makedirs(args.csv_dir, exist_ok=True)
+        csv_path = os.path.join(args.csv_dir, "robust.csv")
+        with open(csv_path, "w", encoding="utf-8") as fh:
+            fh.write(render_robust_csv(result))
+        json_path = os.path.join(args.csv_dir, "robust.json")
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2)
+        print(f"wrote {csv_path}")
+        print(f"wrote {json_path}")
     return 0
 
 

@@ -1,0 +1,229 @@
+"""Failure-rate sweep: repair overhead vs injected fault rate.
+
+For each ``(fault_rate, repetition)`` cell a fresh paper-workload
+instance is generated (seed-derived exactly like the figure sweeps), a
+fault plan is sampled at that rate (seeded from ``fault_seed``, horizon =
+the cell's fault-free makespan), and every pipeline's execution is
+repaired online. Reported per ``(rate, pipeline)``: mean cost overhead,
+repair rounds, dummy fallbacks and makespan stretch — the curves the
+robustness analysis plots.
+
+Determinism contract: cells are seeded by position, so the whole sweep is
+reproducible from ``(scale, fault_seed)`` alone, and a zero rate
+reproduces the fault-free path byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import RepairStats, repair_stats
+from repro.experiments.config import ExperimentScale
+from repro.robust.faults import FaultPlan
+from repro.robust.repair import RepairEngine
+from repro.timing.bandwidth import bandwidths_from_costs
+from repro.timing.executor import simulate_parallel
+from repro.util.rng import derive_seed
+from repro.workloads.regular import paper_instance
+
+#: Pipelines compared by default: the paper's winner plus a flat baseline.
+DEFAULT_PIPELINES = ("GOLCF+H1+H2", "GSDF")
+
+#: Fault rates swept by default.
+DEFAULT_RATES = (0.0, 0.05, 0.1, 0.2)
+
+
+@dataclass(frozen=True)
+class RobustCell:
+    """Aggregated repair metrics for one ``(rate, pipeline)`` cell."""
+
+    rate: float
+    pipeline: str
+    stats: List[RepairStats]
+    seconds: float
+
+    def _mean(self, pick: Callable[[RepairStats], float]) -> float:
+        return float(np.mean([pick(s) for s in self.stats]))
+
+    @property
+    def cost_overhead(self) -> float:
+        return self._mean(lambda s: s.cost_overhead)
+
+    @property
+    def repair_rounds(self) -> float:
+        return self._mean(lambda s: s.repair_rounds)
+
+    @property
+    def dummy_fallbacks(self) -> float:
+        return self._mean(lambda s: s.dummy_fallbacks)
+
+    @property
+    def makespan_stretch(self) -> float:
+        return self._mean(lambda s: s.makespan_stretch)
+
+
+@dataclass
+class RobustSweepResult:
+    """All cells of one failure-rate sweep, plus run metadata."""
+
+    scale: ExperimentScale
+    fault_seed: int
+    rates: List[float]
+    pipelines: List[str]
+    cells: List[RobustCell] = field(default_factory=list)
+    seconds: float = 0.0
+
+    def cell(self, rate: float, pipeline: str) -> RobustCell:
+        """Look up one cell."""
+        for c in self.cells:
+            if c.rate == rate and c.pipeline == pipeline:
+                return c
+        raise KeyError((rate, pipeline))
+
+    def series(self, pipeline: str, metric: str = "cost_overhead") -> List[float]:
+        """One metric per rate for one pipeline, in rate order."""
+        by_rate = {
+            c.rate: getattr(c, metric)
+            for c in self.cells
+            if c.pipeline == pipeline
+        }
+        return [by_rate[r] for r in self.rates]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict (archived by the ``robust-smoke`` CI job)."""
+        return {
+            "format": "rtsp-robust-sweep/1",
+            "scale": self.scale.name,
+            "fault_seed": self.fault_seed,
+            "rates": list(self.rates),
+            "pipelines": list(self.pipelines),
+            "seconds": self.seconds,
+            "cells": [
+                {
+                    "rate": c.rate,
+                    "pipeline": c.pipeline,
+                    "seconds": c.seconds,
+                    "cost_overhead": c.cost_overhead,
+                    "repair_rounds": c.repair_rounds,
+                    "dummy_fallbacks": c.dummy_fallbacks,
+                    "makespan_stretch": c.makespan_stretch,
+                    "repetitions": [s.as_dict() for s in c.stats],
+                }
+                for c in self.cells
+            ],
+        }
+
+
+def render_robust_table(result: RobustSweepResult) -> str:
+    """ASCII table of the sweep, one row per ``(rate, pipeline)``."""
+    header = (
+        f"{'rate':>6}  {'pipeline':<16} {'overhead':>9} {'rounds':>7} "
+        f"{'dummy+':>7} {'stretch':>8}"
+    )
+    lines = [
+        f"Robustness sweep [scale={result.scale.name}, "
+        f"fault_seed={result.fault_seed}, {result.seconds:.1f}s]",
+        header,
+        "-" * len(header),
+    ]
+    for c in result.cells:
+        lines.append(
+            f"{c.rate:>6g}  {c.pipeline:<16} {c.cost_overhead:>8.1%} "
+            f"{c.repair_rounds:>7.2f} {c.dummy_fallbacks:>7.2f} "
+            f"{c.makespan_stretch:>8.3f}"
+        )
+    return "\n".join(lines)
+
+
+def render_robust_csv(result: RobustSweepResult) -> str:
+    """CSV view of the sweep (same rows as the table)."""
+    lines = [
+        "rate,pipeline,cost_overhead,repair_rounds,dummy_fallbacks,"
+        "makespan_stretch"
+    ]
+    for c in result.cells:
+        lines.append(
+            f"{c.rate:g},{c.pipeline},{c.cost_overhead:.6g},"
+            f"{c.repair_rounds:.6g},{c.dummy_fallbacks:.6g},"
+            f"{c.makespan_stretch:.6g}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def run_robust_sweep(
+    scale: ExperimentScale,
+    rates: Sequence[float] = DEFAULT_RATES,
+    pipelines: Sequence[str] = DEFAULT_PIPELINES,
+    repetitions: Optional[int] = None,
+    fault_seed: int = 0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> RobustSweepResult:
+    """Run the failure-rate sweep at ``scale``.
+
+    Instances are shared across pipelines within a cell (algorithms are
+    compared on identical runs); fault plans are shared across pipelines
+    too, so differences in repair overhead are attributable to the
+    pipeline, not to fault luck.
+    """
+    reps = repetitions if repetitions is not None else scale.repetitions
+    result = RobustSweepResult(
+        scale=scale,
+        fault_seed=fault_seed,
+        rates=[float(r) for r in rates],
+        pipelines=list(pipelines),
+    )
+    t_start = time.perf_counter()
+    for rate in result.rates:
+        instances = []
+        for rep in range(reps):
+            seed = derive_seed(scale.base_seed, "robust", scale.name, rate, rep)
+            instances.append(
+                paper_instance(
+                    replicas=2,
+                    num_servers=scale.num_servers,
+                    num_objects=scale.num_objects,
+                    rng=seed,
+                )
+            )
+        for name in result.pipelines:
+            engine = RepairEngine(name)
+            t0 = time.perf_counter()
+            stats: List[RepairStats] = []
+            for rep, instance in enumerate(instances):
+                run_seed = derive_seed(
+                    scale.base_seed, "robust-pipeline", rate, rep
+                )
+                # Horizon = the cell's fault-free makespan, so crash and
+                # slowdown times land inside the execution window.
+                baseline = simulate_parallel(
+                    engine.pipeline.run(instance, rng=run_seed),
+                    instance,
+                    bandwidths_from_costs(instance.costs),
+                )
+                plan = FaultPlan.generate(
+                    instance,
+                    rate,
+                    seed=derive_seed(fault_seed, "plan", rate, rep),
+                    horizon=max(baseline.makespan, 1.0),
+                )
+                report = engine.execute(instance, plan, rng=run_seed)
+                stats.append(repair_stats(report))
+            cell = RobustCell(
+                rate=rate,
+                pipeline=name,
+                stats=stats,
+                seconds=time.perf_counter() - t0,
+            )
+            result.cells.append(cell)
+            if progress is not None:
+                progress(
+                    f"robust rate={rate:g} {name}: "
+                    f"overhead={cell.cost_overhead:.1%} "
+                    f"rounds={cell.repair_rounds:.2f} ({cell.seconds:.1f}s)"
+                )
+    result.seconds = time.perf_counter() - t_start
+    return result

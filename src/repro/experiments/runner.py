@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import multiprocessing
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
@@ -157,16 +158,24 @@ def run_figure(
     ``repetitions`` overrides the scale's default; ``progress`` (if given)
     receives one human-readable line per completed cell. ``workers`` > 1
     distributes repetitions over a process pool; results are bit-identical
-    to a serial run because every cell's seed is position-derived (on
-    platforms without the ``fork`` start method the runner silently falls
-    back to serial execution).
+    to a serial run because every cell's seed is position-derived. On
+    platforms without the ``fork`` start method the runner falls back to
+    serial execution, emitting a :class:`RuntimeWarning` and a ``progress``
+    line so the degradation is visible.
     """
     reps = repetitions if repetitions is not None else scale.repetitions
     if workers is not None and workers > 1:
         try:
             multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX platforms
-            pass
+            message = (
+                f"run_figure(workers={workers}): the 'fork' start method is "
+                "unavailable on this platform; falling back to serial "
+                "execution"
+            )
+            warnings.warn(message, RuntimeWarning, stacklevel=2)
+            if progress is not None:
+                progress(message)
         else:
             return _run_figure_parallel(spec, scale, reps, progress, workers)
     pipelines = {name: build_pipeline(name) for name in spec.pipelines}

@@ -1,4 +1,4 @@
-"""Serialization: JSON interchange for instances and schedules.
+"""Serialization: JSON interchange for instances, schedules and faults.
 
 A deployment tool computing placements (or an external placement
 optimiser) can hand RTSP instances to this library, and the produced
@@ -8,14 +8,26 @@ versioned JSON:
 * ``rtsp-instance/1`` — sizes, capacities, the extended cost matrix
   (dummy last), ``X_old`` and ``X_new``;
 * ``rtsp-schedule/1`` — a list of compact action tuples
-  (``["T", target, obj, source]`` / ``["D", server, obj]``).
+  (``["T", target, obj, source]`` / ``["D", server, obj]``);
+* ``rtsp-fault-plan/1`` — a :class:`repro.robust.FaultPlan`'s transfer
+  faults, crashes and slowdowns plus its generation knobs;
+* ``rtsp-failure-trace/1`` — a failure-aware event log
+  (``[status, position, start, finish, action]`` rows).
 """
 
 from repro.io.json_format import (
+    failure_trace_from_dict,
+    failure_trace_to_dict,
+    fault_plan_from_dict,
+    fault_plan_to_dict,
     instance_from_dict,
     instance_to_dict,
+    load_failure_trace,
+    load_fault_plan,
     load_instance,
     load_schedule,
+    save_failure_trace,
+    save_fault_plan,
     save_instance,
     save_schedule,
     schedule_from_dict,
@@ -23,10 +35,18 @@ from repro.io.json_format import (
 )
 
 __all__ = [
+    "failure_trace_from_dict",
+    "failure_trace_to_dict",
+    "fault_plan_from_dict",
+    "fault_plan_to_dict",
     "instance_from_dict",
     "instance_to_dict",
+    "load_failure_trace",
+    "load_fault_plan",
     "load_instance",
     "load_schedule",
+    "save_failure_trace",
+    "save_fault_plan",
     "save_instance",
     "save_schedule",
     "schedule_from_dict",

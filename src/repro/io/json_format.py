@@ -1,19 +1,29 @@
-"""Versioned JSON (de)serialization of instances and schedules."""
+"""Versioned JSON (de)serialization of instances, schedules, fault plans
+and failure traces."""
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Union
+from typing import Any, Dict, List, Sequence, Union
 
 import numpy as np
 
 from repro.model.actions import Action, Delete, Transfer
 from repro.model.instance import RtspInstance
 from repro.model.schedule import Schedule
+from repro.robust.faults import (
+    FaultPlan,
+    LinkSlowdown,
+    ServerCrash,
+    TransferFault,
+)
+from repro.timing.faulted import FaultedAction
 from repro.util.errors import ConfigurationError
 
 INSTANCE_FORMAT = "rtsp-instance/1"
 SCHEDULE_FORMAT = "rtsp-schedule/1"
+FAULT_PLAN_FORMAT = "rtsp-fault-plan/1"
+FAILURE_TRACE_FORMAT = "rtsp-failure-trace/1"
 
 PathLike = Union[str, "os.PathLike[str]"]  # noqa: F821 - doc only
 
@@ -123,3 +133,114 @@ def load_schedule(path) -> Schedule:
     """Read a schedule from a JSON file."""
     with open(path, "r", encoding="utf-8") as fh:
         return schedule_from_dict(json.load(fh))
+
+
+# ----------------------------------------------------------------------
+# fault plans
+# ----------------------------------------------------------------------
+def fault_plan_to_dict(plan: FaultPlan) -> Dict[str, Any]:
+    """Serialise a fault plan to compact event rows."""
+    return {
+        "format": FAULT_PLAN_FORMAT,
+        "rate": plan.rate,
+        "seed": plan.seed,
+        "horizon": plan.horizon,
+        "transfer_faults": [f.attempt for f in plan.transfer_faults],
+        "crashes": [[c.time, c.server] for c in plan.crashes],
+        "slowdowns": [
+            [s.time, s.target, s.source, s.factor] for s in plan.slowdowns
+        ],
+    }
+
+
+def fault_plan_from_dict(data: Dict[str, Any]) -> FaultPlan:
+    """Deserialise (and re-validate) a fault plan."""
+    if data.get("format") != FAULT_PLAN_FORMAT:
+        raise ConfigurationError(
+            f"expected format {FAULT_PLAN_FORMAT!r}, got {data.get('format')!r}"
+        )
+    try:
+        return FaultPlan(
+            transfer_faults=tuple(
+                TransferFault(int(a)) for a in data["transfer_faults"]
+            ),
+            crashes=tuple(
+                ServerCrash(float(t), int(s)) for t, s in data["crashes"]
+            ),
+            slowdowns=tuple(
+                LinkSlowdown(float(t), int(i), int(j), float(f))
+                for t, i, j, f in data["slowdowns"]
+            ),
+            rate=float(data.get("rate", 0.0)),
+            seed=int(data.get("seed", 0)),
+            horizon=float(data.get("horizon", 1.0)),
+        )
+    except KeyError as missing:
+        raise ConfigurationError(
+            f"fault-plan JSON missing key {missing}"
+        ) from None
+
+
+def save_fault_plan(plan: FaultPlan, path) -> None:
+    """Write a fault plan to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(fault_plan_to_dict(plan), fh)
+
+
+def load_fault_plan(path) -> FaultPlan:
+    """Read a fault plan from a JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return fault_plan_from_dict(json.load(fh))
+
+
+# ----------------------------------------------------------------------
+# failure traces
+# ----------------------------------------------------------------------
+def failure_trace_to_dict(events: Sequence[FaultedAction]) -> Dict[str, Any]:
+    """Serialise a failure-aware event log (e.g. ``RepairReport.events``)."""
+    return {
+        "format": FAILURE_TRACE_FORMAT,
+        "events": [
+            [e.status, e.position, e.start, e.finish, _encode_action(e.action)]
+            for e in events
+        ],
+    }
+
+
+def failure_trace_from_dict(data: Dict[str, Any]) -> List[FaultedAction]:
+    """Deserialise a failure trace back into :class:`FaultedAction` rows."""
+    if data.get("format") != FAILURE_TRACE_FORMAT:
+        raise ConfigurationError(
+            f"expected format {FAILURE_TRACE_FORMAT!r}, got {data.get('format')!r}"
+        )
+    try:
+        rows = data["events"]
+    except KeyError:
+        raise ConfigurationError("failure-trace JSON missing 'events'") from None
+    out: List[FaultedAction] = []
+    for row in rows:
+        if len(row) != 5:
+            raise ConfigurationError(f"trace row needs 5 fields: {row!r}")
+        status, position, start, finish, action_row = row
+        out.append(
+            FaultedAction(
+                position=int(position),
+                action=_decode_action(action_row),
+                start=float(start),
+                finish=float(finish),
+                status=str(status),
+            )
+        )
+    return out
+
+
+def save_failure_trace(events: Sequence[FaultedAction], path) -> None:
+    """Write a failure trace to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(failure_trace_to_dict(events), fh)
+
+
+def load_failure_trace(path) -> List[FaultedAction]:
+    """Read a failure trace from a JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return failure_trace_from_dict(json.load(fh))

@@ -10,7 +10,9 @@
 * :mod:`repro.model.nearest` — the vectorized incremental nearest-source
   index those queries run on,
 * :mod:`repro.model.schedule` — action sequences, replay, validation and
-  cost accounting.
+  cost accounting,
+* :mod:`repro.model.residual` — residual-instance extraction for
+  re-planning a transition from a mid-flight state.
 """
 
 from repro.model.actions import Action, Delete, Transfer, is_transfer, is_delete
@@ -24,6 +26,7 @@ from repro.model.placement import (
     replica_counts,
 )
 from repro.model.nearest import NearestSourceIndex, nearest_bruteforce
+from repro.model.residual import is_residual_trivial, residual_instance
 from repro.model.state import SystemState
 from repro.model.schedule import Schedule, ValidationReport
 
@@ -42,6 +45,8 @@ __all__ = [
     "replica_counts",
     "NearestSourceIndex",
     "nearest_bruteforce",
+    "is_residual_trivial",
+    "residual_instance",
     "SystemState",
     "Schedule",
     "ValidationReport",

@@ -1,0 +1,49 @@
+"""Residual RTSP instances: the remainder of a partially-applied transition.
+
+When a running schedule is interrupted (a transfer fails, a server
+crashes and loses replicas), the system sits at some intermediate
+placement ``X^u``. Reaching the original ``X_new`` from there is *itself*
+an RTSP instance — same sizes, capacities and costs, but with ``X^u`` as
+the starting scheme. :func:`residual_instance` extracts that instance so
+any existing builder pipeline can re-plan the remainder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.instance import RtspInstance
+from repro.util.errors import ConfigurationError
+
+
+def residual_instance(
+    instance: RtspInstance, placement: np.ndarray
+) -> RtspInstance:
+    """The RTSP instance for finishing ``instance`` from ``placement``.
+
+    ``placement`` is the current ``M x N`` replication matrix (e.g.
+    ``SystemState.placement()`` captured mid-execution). The result keeps
+    the original sizes, capacities, extended cost matrix and ``X_new``,
+    and substitutes ``placement`` for ``X_old``. Full validation runs: a
+    placement that violates capacities (which no reachable system state
+    can produce) is rejected.
+    """
+    placement = np.asarray(placement)
+    expected = (instance.num_servers, instance.num_objects)
+    if placement.shape != expected:
+        raise ConfigurationError(
+            f"placement must be {expected[0]}x{expected[1]}, "
+            f"got {placement.shape}"
+        )
+    return RtspInstance.create(
+        sizes=instance.sizes,
+        capacities=instance.capacities,
+        costs=instance.costs,
+        x_old=placement,
+        x_new=instance.x_new,
+    )
+
+
+def is_residual_trivial(instance: RtspInstance) -> bool:
+    """Whether a residual instance needs no actions (``X_old == X_new``)."""
+    return bool(np.array_equal(instance.x_old, instance.x_new))

@@ -273,6 +273,32 @@ class SystemState:
             raise InvalidActionError(f"unknown action type {type(action).__name__}")
 
     # ------------------------------------------------------------------
+    # fault semantics
+    # ------------------------------------------------------------------
+    def crash_server(self, server: int) -> List[Delete]:
+        """Lose every replica held at ``server`` (a crash with data loss).
+
+        Storage is freed (the machine rejoins empty), so the server can
+        still receive replicas afterwards. Returns the synthetic
+        :class:`Delete` actions describing the loss, in ascending object
+        order — replaying them against the pre-crash state reproduces the
+        post-crash state exactly, which is what lets failure traces
+        re-validate as ordinary action sequences.
+        """
+        if not 0 <= server < self.instance.num_servers:
+            raise InvalidActionError(
+                f"cannot crash server {server}: index out of range "
+                f"[0, {self.instance.num_servers}) (the dummy never crashes)"
+            )
+        lost = [
+            Delete(server, int(k))
+            for k in np.flatnonzero(self._holds[server]).tolist()
+        ]
+        for action in lost:
+            self.apply(action)
+        return lost
+
+    # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def copy(self) -> "SystemState":

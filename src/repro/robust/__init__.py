@@ -1,0 +1,43 @@
+"""Fault injection and online schedule repair (extension).
+
+The paper assumes every transfer succeeds; this subpackage drops that
+assumption. A seeded :class:`FaultPlan` injects transfer failures, server
+crashes (with replica loss) and link slowdowns into the discrete-event
+execution, and :class:`RepairEngine` re-plans the remainder from the
+mid-flight state after every detected failure:
+
+* :mod:`repro.robust.faults` — deterministic fault-plan generation,
+* :mod:`repro.robust.repair` — the detect / extract-residual / re-plan /
+  degrade-to-dummy repair loop.
+
+The failure-aware event loop itself lives in
+:mod:`repro.timing.faulted`; residual-instance extraction in
+:mod:`repro.model.residual`; overhead metrics in
+:mod:`repro.analysis.metrics`; versioned JSON for plans and traces in
+:mod:`repro.io`; and the failure-rate sweep in
+:mod:`repro.experiments.robust_sweep`.
+"""
+
+from repro.robust.faults import (
+    FaultPlan,
+    LinkSlowdown,
+    ServerCrash,
+    TransferFault,
+)
+from repro.robust.repair import (
+    RepairEngine,
+    RepairPolicy,
+    RepairReport,
+    execute_with_repair,
+)
+
+__all__ = [
+    "FaultPlan",
+    "LinkSlowdown",
+    "ServerCrash",
+    "TransferFault",
+    "RepairEngine",
+    "RepairPolicy",
+    "RepairReport",
+    "execute_with_repair",
+]

@@ -11,8 +11,12 @@ study's substrate:
 * :mod:`repro.timing.executor` — a discrete-event simulator executing a
   schedule with per-server transfer-slot constraints, reporting makespan
   and per-action start/finish times,
+* :mod:`repro.timing.faulted` — the failure-aware variant of that event
+  loop (transfer failures, server crashes, link slowdowns) feeding
+  :mod:`repro.robust`,
 * :mod:`repro.timing.deadline` — deadline checks and per-pipeline
-  makespan comparison helpers.
+  makespan comparison helpers,
+* :mod:`repro.timing.gantt` — ASCII Gantt rendering of executions.
 
 Everything here is an *extension* beyond the paper's evaluation and is
 benchmarked separately (``benchmarks/test_makespan.py``).
@@ -26,7 +30,13 @@ from repro.timing.executor import (
     sequential_makespan,
     simulate_parallel,
 )
+from repro.timing.faulted import (
+    FaultedAction,
+    FaultedResult,
+    simulate_with_faults,
+)
 from repro.timing.deadline import meets_deadline, makespan_by_pipeline
+from repro.timing.gantt import render_gantt
 
 __all__ = [
     "bandwidths_from_costs",
@@ -37,6 +47,10 @@ __all__ = [
     "TimedAction",
     "sequential_makespan",
     "simulate_parallel",
+    "FaultedAction",
+    "FaultedResult",
+    "simulate_with_faults",
     "meets_deadline",
     "makespan_by_pipeline",
+    "render_gantt",
 ]

@@ -7,13 +7,16 @@ Transfer duration is ``s(O_k) / B[target, source]``.
 
 from __future__ import annotations
 
+import math
+from typing import Optional
+
 import numpy as np
 
 from repro.util.errors import ConfigurationError
 
 
 def uniform_bandwidths(num_servers: int, rate: float = 1.0,
-                       dummy_rate: float = None) -> np.ndarray:
+                       dummy_rate: Optional[float] = None) -> np.ndarray:
     """Same bandwidth on every pair; the dummy tier defaults to rate/10.
 
     Returns an extended ``(M+1) x (M+1)`` matrix (dummy last, matching the
@@ -21,11 +24,11 @@ def uniform_bandwidths(num_servers: int, rate: float = 1.0,
     """
     if num_servers < 1:
         raise ConfigurationError("need at least one server")
-    if rate <= 0:
-        raise ConfigurationError("rate must be positive")
+    if not math.isfinite(rate) or rate <= 0:
+        raise ConfigurationError("rate must be a positive finite number")
     dummy = rate / 10.0 if dummy_rate is None else float(dummy_rate)
-    if dummy <= 0:
-        raise ConfigurationError("dummy_rate must be positive")
+    if not math.isfinite(dummy) or dummy <= 0:
+        raise ConfigurationError("dummy_rate must be a positive finite number")
     out = np.full((num_servers + 1, num_servers + 1), float(rate))
     out[num_servers, :] = dummy
     out[:, num_servers] = dummy
@@ -40,14 +43,26 @@ def bandwidths_from_costs(costs: np.ndarray, scale: float = 1.0) -> np.ndarray:
     cost metric as per-unit transfer *effort*: expensive paths are slow
     paths. Accepts the instance's extended cost matrix (dummy included);
     the diagonal gets infinite bandwidth (no self transfers anyway).
+
+    Off-diagonal costs must be positive and finite: a zero cost would
+    yield infinite bandwidth and zero-duration transfers, silently
+    collapsing makespans, so it is rejected here rather than downstream.
     """
     costs = np.asarray(costs, dtype=np.float64)
     if costs.ndim != 2 or costs.shape[0] != costs.shape[1]:
         raise ConfigurationError("cost matrix must be square")
-    if scale <= 0:
-        raise ConfigurationError("scale must be positive")
-    with np.errstate(divide="ignore"):
-        out = scale / costs
+    if not math.isfinite(scale) or scale <= 0:
+        raise ConfigurationError("scale must be a positive finite number")
+    off_diagonal = costs.copy()
+    np.fill_diagonal(off_diagonal, 1.0)
+    if not np.isfinite(off_diagonal).all():
+        raise ConfigurationError("cost matrix contains non-finite entries")
+    if (off_diagonal <= 0).any():
+        raise ConfigurationError(
+            "off-diagonal costs must be positive (zero cost would mean "
+            "infinite bandwidth / zero-duration transfers)"
+        )
+    out = scale / off_diagonal
     np.fill_diagonal(out, np.inf)
     return out
 
@@ -57,6 +72,8 @@ def transfer_duration(
 ) -> float:
     """Duration of moving ``size`` units from ``source`` to ``target``."""
     rate = float(bandwidths[target, source])
+    if math.isnan(rate):
+        raise ConfigurationError(f"NaN bandwidth on ({target},{source})")
     if rate <= 0:
         raise ConfigurationError(f"non-positive bandwidth on ({target},{source})")
     if np.isinf(rate):

@@ -32,7 +32,10 @@ def meets_deadline(
     result = simulate_parallel(
         schedule, instance, bandwidths, out_slots=out_slots, in_slots=in_slots
     )
-    return result.makespan <= deadline + 1e-9
+    # Relative tolerance: an absolute 1e-9 slack is meaningless against
+    # large makespans (float spacing near 1e9 already exceeds it).
+    tolerance = 1e-9 * max(1.0, abs(deadline))
+    return result.makespan <= deadline + tolerance
 
 
 def makespan_by_pipeline(

@@ -49,6 +49,16 @@ class CapacityError(RtspError):
     """A placement or transfer would exceed a server's storage capacity."""
 
 
+class RepairExhaustedError(RtspError):
+    """Online repair gave up before reaching ``X_new``.
+
+    Raised by :class:`repro.robust.RepairEngine` when the configured
+    ``max_rounds`` bound is hit while faults are still firing. With the
+    default (automatic) bound this cannot happen: a fault plan is finite
+    and every repair round consumes at least one fault.
+    """
+
+
 class InfeasibleInstanceError(RtspError):
     """The RTSP instance admits no valid schedule.
 

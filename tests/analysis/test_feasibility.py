@@ -76,3 +76,29 @@ class TestAnalyzeFeasibility:
 
     def test_zero_minimum_dummies(self):
         assert minimum_dummy_transfers(fig1_deadlock_instance()) == 0
+
+    def test_storage_violation_reported_not_raised(self, monkeypatch):
+        from repro.util.errors import InfeasibleInstanceError
+
+        inst = make([[1], [0]], [[1], [1]], caps=[2.0, 2.0])
+        monkeypatch.setattr(
+            type(inst),
+            "check_feasible",
+            lambda self: (_ for _ in ()).throw(
+                InfeasibleInstanceError("over capacity")
+            ),
+        )
+        summary = analyze_feasibility(inst)
+        assert not summary.storage_feasible
+
+    def test_programming_errors_propagate(self, monkeypatch):
+        # Only InfeasibleInstanceError means "storage infeasible"; a
+        # genuine bug inside check_feasible must not be swallowed.
+        inst = make([[1], [0]], [[1], [1]], caps=[2.0, 2.0])
+        monkeypatch.setattr(
+            type(inst),
+            "check_feasible",
+            lambda self: (_ for _ in ()).throw(TypeError("boom")),
+        )
+        with pytest.raises(TypeError, match="boom"):
+            analyze_feasibility(inst)

@@ -1,0 +1,146 @@
+"""Tests for the failure-rate sweep and its CLI entry point."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+from repro.experiments.config import ExperimentScale
+from repro.experiments.robust_sweep import (
+    render_robust_csv,
+    render_robust_table,
+    run_robust_sweep,
+)
+from repro.util.errors import ConfigurationError
+
+TINY = ExperimentScale("tiny", num_servers=6, num_objects=12, repetitions=2)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_robust_sweep(
+        TINY, rates=[0.0, 0.1], pipelines=["GSDF", "GOLCF+H1+H2"], fault_seed=3
+    )
+
+
+class TestRunRobustSweep:
+    def test_cell_coverage(self, result):
+        assert len(result.cells) == 2 * 2  # rates x pipelines
+        assert {c.pipeline for c in result.cells} == {"GSDF", "GOLCF+H1+H2"}
+
+    def test_zero_rate_has_zero_overhead(self, result):
+        for name in result.pipelines:
+            cell = result.cell(0.0, name)
+            assert cell.cost_overhead == 0.0
+            assert cell.repair_rounds == 0.0
+            assert cell.dummy_fallbacks == 0.0
+            assert cell.makespan_stretch == 1.0
+
+    def test_nonzero_rate_records_stats(self, result):
+        for name in result.pipelines:
+            cell = result.cell(0.1, name)
+            assert len(cell.stats) == TINY.repetitions
+            assert cell.makespan_stretch >= 1.0
+
+    def test_deterministic(self):
+        a = run_robust_sweep(TINY, rates=[0.1], pipelines=["GSDF"], fault_seed=3)
+        b = run_robust_sweep(TINY, rates=[0.1], pipelines=["GSDF"], fault_seed=3)
+        for ca, cb in zip(a.cells, b.cells):
+            assert [s.as_dict() for s in ca.stats] == [
+                s.as_dict() for s in cb.stats
+            ]
+
+    def test_fault_seed_changes_plans(self):
+        a = run_robust_sweep(TINY, rates=[0.2], pipelines=["GSDF"], fault_seed=1)
+        b = run_robust_sweep(TINY, rates=[0.2], pipelines=["GSDF"], fault_seed=2)
+        assert [s.as_dict() for s in a.cells[0].stats] != [
+            s.as_dict() for s in b.cells[0].stats
+        ]
+
+    def test_series_and_cell_lookup(self, result):
+        series = result.series("GSDF")
+        assert len(series) == 2
+        assert series[0] == result.cell(0.0, "GSDF").cost_overhead
+        with pytest.raises(KeyError):
+            result.cell(0.9, "GSDF")
+
+    def test_repetition_override(self):
+        out = run_robust_sweep(
+            TINY, rates=[0.0], pipelines=["GSDF"], repetitions=1
+        )
+        assert len(out.cells[0].stats) == 1
+
+    def test_progress_callback(self):
+        lines = []
+        run_robust_sweep(
+            TINY,
+            rates=[0.0],
+            pipelines=["GSDF"],
+            repetitions=1,
+            progress=lines.append,
+        )
+        assert len(lines) == 1
+        assert "robust" in lines[0]
+
+    def test_to_dict_is_json_ready(self, result):
+        data = result.to_dict()
+        json.dumps(data)
+        assert data["format"] == "rtsp-robust-sweep/1"
+        assert data["fault_seed"] == 3
+        assert len(data["cells"]) == 4
+
+
+class TestRendering:
+    def test_table_rows(self, result):
+        table = render_robust_table(result)
+        assert "Robustness sweep" in table
+        assert table.count("GSDF") >= 2
+
+    def test_csv_rows(self, result):
+        csv = render_robust_csv(result)
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("rate,pipeline,")
+        assert len(lines) == 1 + len(result.cells)
+
+
+class TestCli:
+    def test_parser_accepts_fault_flags(self):
+        args = build_parser().parse_args(
+            ["--figure", "robust", "--fault-rate", "0.1,0.2", "--fault-seed", "5"]
+        )
+        assert args.figure == "robust"
+        assert args.fault_rate == "0.1,0.2"
+        assert args.fault_seed == 5
+
+    def test_end_to_end_robust(self, tmp_path, capsys):
+        code = main(
+            [
+                "--figure",
+                "robust",
+                "--scale",
+                "small",
+                "--reps",
+                "1",
+                "--quiet",
+                "--fault-rate",
+                "0.0,0.1",
+                "--fault-seed",
+                "7",
+                "--csv-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Robustness sweep" in out
+        assert os.path.exists(tmp_path / "robust.csv")
+        with open(tmp_path / "robust.json", encoding="utf-8") as fh:
+            data = json.load(fh)
+        assert data["format"] == "rtsp-robust-sweep/1"
+        assert data["fault_seed"] == 7
+
+    def test_bad_fault_rate_rejected(self):
+        with pytest.raises(ConfigurationError, match="fault-rate"):
+            main(["--figure", "robust", "--scale", "small", "--reps", "1",
+                  "--quiet", "--fault-rate", "lots"])

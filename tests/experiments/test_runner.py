@@ -110,6 +110,23 @@ class TestParallelRunFigure:
         for ca, cb in zip(a.cells, b.cells):
             assert ca.values == cb.values
 
+    def test_serial_fallback_is_loud(self, monkeypatch):
+        """No fork start method: warn, tell progress, still compute."""
+        import multiprocessing
+
+        def no_fork(method=None):
+            raise ValueError("cannot find context for 'fork'")
+
+        monkeypatch.setattr(multiprocessing, "get_context", no_fork)
+        spec = tiny_spec()
+        lines = []
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            result = run_figure(spec, TINY, workers=4, progress=lines.append)
+        assert any("falling back to serial" in line for line in lines)
+        serial = run_figure(spec, TINY)
+        for cf, cs in zip(result.cells, serial.cells):
+            assert cf.values == cs.values
+
 
 class TestCellResult:
     def test_mean_std(self):

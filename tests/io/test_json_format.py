@@ -7,10 +7,18 @@ import pytest
 
 from repro.core import build_pipeline
 from repro.io import (
+    failure_trace_from_dict,
+    failure_trace_to_dict,
+    fault_plan_from_dict,
+    fault_plan_to_dict,
     instance_from_dict,
     instance_to_dict,
+    load_failure_trace,
+    load_fault_plan,
     load_instance,
     load_schedule,
+    save_failure_trace,
+    save_fault_plan,
     save_instance,
     save_schedule,
     schedule_from_dict,
@@ -18,6 +26,8 @@ from repro.io import (
 )
 from repro.model.actions import Delete, Transfer
 from repro.model.schedule import Schedule
+from repro.robust import FaultPlan, execute_with_repair
+from repro.robust.faults import LinkSlowdown, ServerCrash, TransferFault
 from repro.util.errors import ConfigurationError
 from repro.workloads.regular import paper_instance
 
@@ -101,3 +111,82 @@ class TestScheduleRoundTrip:
     def test_empty_schedule(self):
         restored = schedule_from_dict(schedule_to_dict(Schedule()))
         assert len(restored) == 0
+
+
+class TestFaultPlanRoundTrip:
+    def plan(self):
+        return FaultPlan(
+            transfer_faults=(TransferFault(3), TransferFault(7)),
+            crashes=(ServerCrash(1.5, 0),),
+            slowdowns=(LinkSlowdown(0.5, 1, 2, 4.0),),
+            rate=0.2,
+            seed=11,
+            horizon=100.0,
+        )
+
+    def test_dict_round_trip(self):
+        plan = self.plan()
+        assert fault_plan_from_dict(fault_plan_to_dict(plan)) == plan
+
+    def test_file_round_trip(self, tmp_path):
+        plan = self.plan()
+        path = tmp_path / "plan.json"
+        save_fault_plan(plan, path)
+        assert load_fault_plan(path) == plan
+
+    def test_json_serialisable(self):
+        json.dumps(fault_plan_to_dict(self.plan()))
+
+    def test_generated_plan_round_trips(self, instance):
+        plan = FaultPlan.generate(instance, 0.3, seed=4, horizon=50.0)
+        assert fault_plan_from_dict(fault_plan_to_dict(plan)) == plan
+
+    def test_format_tag_checked(self):
+        with pytest.raises(ConfigurationError, match="format"):
+            fault_plan_from_dict({"format": "nope"})
+
+    def test_missing_key(self):
+        data = fault_plan_to_dict(self.plan())
+        del data["crashes"]
+        with pytest.raises(ConfigurationError, match="missing"):
+            fault_plan_from_dict(data)
+
+    def test_revalidates_events(self):
+        data = fault_plan_to_dict(self.plan())
+        data["slowdowns"] = [[0.0, 0, 1, 0.25]]  # factor < 1 is invalid
+        with pytest.raises(ConfigurationError):
+            fault_plan_from_dict(data)
+
+
+class TestFailureTraceRoundTrip:
+    @pytest.fixture(scope="class")
+    def events(self, instance):
+        plan = FaultPlan(crashes=(ServerCrash(time=1.0, server=0),))
+        report = execute_with_repair(instance, plan, rng=0)
+        return report.events
+
+    def test_dict_round_trip(self, events):
+        restored = failure_trace_from_dict(failure_trace_to_dict(events))
+        assert restored == list(events)
+
+    def test_file_round_trip(self, events, tmp_path):
+        path = tmp_path / "trace.json"
+        save_failure_trace(events, path)
+        assert load_failure_trace(path) == list(events)
+
+    def test_json_serialisable(self, events):
+        json.dumps(failure_trace_to_dict(events))
+
+    def test_format_tag_checked(self):
+        with pytest.raises(ConfigurationError, match="format"):
+            failure_trace_from_dict({"format": "nope", "events": []})
+
+    def test_missing_events(self):
+        with pytest.raises(ConfigurationError, match="events"):
+            failure_trace_from_dict({"format": "rtsp-failure-trace/1"})
+
+    def test_malformed_row(self):
+        with pytest.raises(ConfigurationError, match="5 fields"):
+            failure_trace_from_dict(
+                {"format": "rtsp-failure-trace/1", "events": [["ok", 0]]}
+            )

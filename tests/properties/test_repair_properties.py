@@ -1,0 +1,119 @@
+"""Property-based tests: repair-engine invariants under random faults.
+
+Random small instances (same generator shape as the schedule property
+tests), random fault plans at random rates/seeds, and builders sampled
+from the paper's set. The load-bearing invariants:
+
+* every repaired execution terminates with the state at exactly ``X_new``;
+* the applied event log re-validates as a plain RTSP schedule;
+* execution is deterministic per ``(fault plan, pipeline, seed)``;
+* zero-fault plans reproduce the plain simulated path exactly.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_pipeline
+from repro.model.instance import RtspInstance
+from repro.model.state import SystemState
+from repro.robust import FaultPlan, execute_with_repair
+from repro.timing.bandwidth import bandwidths_from_costs
+from repro.timing.executor import simulate_parallel
+
+PIPELINES = ["RDF", "GSDF", "GOLCF+H1+H2"]
+
+COMMON = dict(
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def instances(draw) -> RtspInstance:
+    m = draw(st.integers(2, 5))
+    n = draw(st.integers(1, 5))
+    sizes = np.array(
+        draw(st.lists(st.integers(1, 4), min_size=n, max_size=n)), dtype=float
+    )
+    bits = st.lists(
+        st.lists(st.integers(0, 1), min_size=n, max_size=n),
+        min_size=m,
+        max_size=m,
+    )
+    x_old = np.array(draw(bits), dtype=np.int8)
+    x_new = np.array(draw(bits), dtype=np.int8)
+    loads_old = x_old.astype(float) @ sizes
+    loads_new = x_new.astype(float) @ sizes
+    slack = np.array(
+        draw(st.lists(st.integers(0, 4), min_size=m, max_size=m)), dtype=float
+    )
+    capacities = np.maximum(loads_old, loads_new) + slack
+    weights = draw(
+        st.lists(st.integers(1, 9), min_size=m * m, max_size=m * m)
+    )
+    costs = np.array(weights, dtype=float).reshape(m, m)
+    costs = (costs + costs.T) / 2.0
+    np.fill_diagonal(costs, 0.0)
+    return RtspInstance.create(sizes, capacities, costs, x_old, x_new)
+
+
+@settings(**COMMON)
+@given(
+    inst=instances(),
+    rate=st.floats(0.0, 0.6),
+    fault_seed=st.integers(0, 2**31 - 1),
+    run_seed=st.integers(0, 2**31 - 1),
+    pipeline=st.sampled_from(PIPELINES),
+)
+def test_repaired_execution_reaches_x_new(
+    inst, rate, fault_seed, run_seed, pipeline
+):
+    plan = FaultPlan.generate(inst, rate, seed=fault_seed, horizon=50.0)
+    report = execute_with_repair(
+        inst, plan, pipeline=pipeline, rng=run_seed
+    )
+    assert report.completed
+    assert report.revalidate(inst)
+    state = SystemState(inst)
+    for event in report.events:
+        if event.applied:
+            state.apply(event.action)
+    assert state.matches(inst.x_new)
+
+
+@settings(**COMMON)
+@given(
+    inst=instances(),
+    rate=st.floats(0.05, 0.6),
+    fault_seed=st.integers(0, 2**31 - 1),
+    pipeline=st.sampled_from(PIPELINES),
+)
+def test_execution_is_deterministic(inst, rate, fault_seed, pipeline):
+    plan = FaultPlan.generate(inst, rate, seed=fault_seed, horizon=50.0)
+    a = execute_with_repair(inst, plan, pipeline=pipeline, rng=7)
+    b = execute_with_repair(inst, plan, pipeline=pipeline, rng=7)
+    assert a.events == b.events
+    assert a.makespan == b.makespan
+    assert a.total_cost == b.total_cost
+
+
+@settings(**COMMON)
+@given(
+    inst=instances(),
+    seed=st.integers(0, 2**31 - 1),
+    pipeline=st.sampled_from(PIPELINES),
+)
+def test_zero_fault_plan_matches_plain_path(inst, seed, pipeline):
+    report = execute_with_repair(inst, FaultPlan(), pipeline=pipeline, rng=seed)
+    schedule = build_pipeline(pipeline).run(inst, rng=seed)
+    baseline = simulate_parallel(
+        schedule, inst, bandwidths_from_costs(inst.costs)
+    )
+    assert report.rounds == 0
+    assert report.makespan == baseline.makespan
+    assert report.total_cost == schedule.cost(inst)
+    base_times = {t.position: (t.start, t.finish) for t in baseline.trace}
+    fault_times = {e.position: (e.start, e.finish) for e in report.events}
+    assert fault_times == base_times

@@ -1,0 +1,202 @@
+"""Tests for the online repair engine."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import repair_stats
+from repro.core import build_pipeline
+from repro.model.residual import is_residual_trivial, residual_instance
+from repro.model.state import SystemState
+from repro.robust.faults import FaultPlan, ServerCrash, TransferFault
+from repro.robust.repair import RepairEngine, RepairPolicy, execute_with_repair
+from repro.timing.bandwidth import bandwidths_from_costs
+from repro.timing.executor import simulate_parallel
+from repro.util.errors import (
+    ConfigurationError,
+    InvalidActionError,
+    RepairExhaustedError,
+)
+from repro.workloads.regular import paper_instance
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return paper_instance(replicas=2, num_servers=10, num_objects=30, rng=13)
+
+
+class TestFaultFreePath:
+    def test_empty_plan_matches_baseline_exactly(self, instance):
+        """Zero faults: cost, makespan and events match the plain path."""
+        engine = RepairEngine("GOLCF+H1+H2")
+        report = engine.execute(instance, FaultPlan(), rng=0)
+        schedule = build_pipeline("GOLCF+H1+H2").run(instance, rng=0)
+        baseline = simulate_parallel(
+            schedule, instance, bandwidths_from_costs(instance.costs)
+        )
+        assert report.rounds == 0
+        assert report.wasted_cost == 0.0
+        assert report.total_cost == schedule.cost(instance)
+        assert report.makespan == baseline.makespan
+        assert report.fault_free_cost == report.total_cost
+        assert [e.action for e in report.events] != []
+        stats = repair_stats(report)
+        assert stats.cost_overhead == 0.0
+        assert stats.makespan_stretch == 1.0
+        assert stats.dummy_fallbacks == 0
+
+
+class TestRepairLoop:
+    @pytest.mark.parametrize("rate", [0.05, 0.15, 0.3])
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_reaches_x_new_under_faults(self, instance, rate, seed):
+        plan = FaultPlan.generate(instance, rate, seed=seed, horizon=2e6)
+        report = execute_with_repair(
+            instance, plan, pipeline="GOLCF+H1+H2", rng=seed
+        )
+        assert report.completed
+        assert report.revalidate(instance)
+        # replaying the applied events really lands on X_new
+        state = SystemState(instance)
+        for event in report.events:
+            if event.applied:
+                state.apply(event.action)
+        assert state.matches(instance.x_new)
+
+    def test_deterministic_per_seed_and_pipeline(self, instance):
+        plan = FaultPlan.generate(instance, 0.2, seed=11, horizon=2e6)
+        a = execute_with_repair(instance, plan, rng=3)
+        b = execute_with_repair(instance, plan, rng=3)
+        assert a.events == b.events
+        assert a.makespan == b.makespan
+        assert a.total_cost == b.total_cost
+        assert a.rounds == b.rounds
+
+    def test_each_round_consumes_a_fault(self, instance):
+        plan = FaultPlan.generate(instance, 0.2, seed=11, horizon=2e6)
+        report = execute_with_repair(instance, plan, rng=3)
+        assert 0 < report.rounds <= plan.num_hard_faults
+
+    def test_transfer_fault_forces_retry(self, instance):
+        plan = FaultPlan(transfer_faults=(TransferFault(0),))
+        report = execute_with_repair(instance, plan, rng=0)
+        assert report.rounds == 1
+        assert report.wasted_cost > 0
+        assert report.revalidate(instance)
+
+    def test_crash_repairs_lost_replicas(self, instance):
+        plan = FaultPlan(crashes=(ServerCrash(time=1.0, server=0),))
+        report = execute_with_repair(instance, plan, rng=0)
+        assert report.completed
+        assert report.revalidate(instance)
+        lost = [e for e in report.events if e.status == "lost"]
+        assert lost, "crash at t=1 should catch server 0 still holding data"
+
+    def test_post_completion_crash_still_repaired(self, instance):
+        plan = FaultPlan(crashes=(ServerCrash(time=1e12, server=0),))
+        report = execute_with_repair(instance, plan, rng=0)
+        assert report.completed
+        assert report.rounds == 1
+        assert report.revalidate(instance)
+        assert report.makespan >= 1e12
+
+    def test_dummy_fallback_when_all_sources_crash(self):
+        """Crashing every replicator of the objects forces dummy transfers."""
+        # Two servers, one object held by S0 only; S1 must receive it.
+        instance_local = __import__("repro").RtspInstance.create(
+            sizes=[1.0],
+            capacities=[1.0, 1.0],
+            costs=np.array([[0.0, 1.0], [1.0, 0.0]]),
+            x_old=np.array([[1], [0]], dtype=np.int8),
+            x_new=np.array([[1], [1]], dtype=np.int8),
+            dummy_constant=10.0,
+        )
+        plan = FaultPlan(crashes=(ServerCrash(time=0.0, server=0),))
+        report = execute_with_repair(instance_local, plan, pipeline="GSDF", rng=0)
+        assert report.completed
+        assert report.revalidate(instance_local)
+        assert report.dummy_transfers >= 1
+        stats = repair_stats(report)
+        assert stats.dummy_fallbacks >= 1
+
+    def test_exhaustion_raises(self, instance):
+        # Crashes always fire (transfer faults can be consumed by aborts),
+        # so two of them need two repair rounds — one more than allowed.
+        plan = FaultPlan(
+            crashes=(ServerCrash(time=0.0, server=0), ServerCrash(time=1.0, server=1))
+        )
+        engine = RepairEngine(
+            "GOLCF+H1+H2", policy=RepairPolicy(max_rounds=1)
+        )
+        with pytest.raises(RepairExhaustedError):
+            engine.execute(instance, plan, rng=0)
+
+    def test_backoff_delays_clock(self, instance):
+        plan = FaultPlan(transfer_faults=(TransferFault(0),))
+        quick = execute_with_repair(instance, plan, rng=0)
+        slow = RepairEngine(
+            "GOLCF+H1+H2", policy=RepairPolicy(backoff_base=100.0)
+        ).execute(instance, plan, rng=0)
+        assert slow.makespan >= quick.makespan + 100.0
+
+
+class TestResidual:
+    def test_residual_instance_extraction(self, instance):
+        state = SystemState(instance)
+        schedule = build_pipeline("GSDF").run(instance, rng=0)
+        for idx in range(len(schedule) // 2):
+            state.apply(schedule[idx])
+        residual = residual_instance(instance, state.placement())
+        assert np.array_equal(residual.x_old, state.placement())
+        assert np.array_equal(residual.x_new, instance.x_new)
+        remainder = build_pipeline("GSDF").run(residual, rng=1)
+        assert remainder.is_valid(residual)
+
+    def test_residual_shape_check(self, instance):
+        with pytest.raises(ConfigurationError):
+            residual_instance(instance, np.zeros((2, 2), dtype=np.int8))
+
+    def test_trivial_residual(self, instance):
+        residual = residual_instance(instance, instance.x_new)
+        assert is_residual_trivial(residual)
+        empty = build_pipeline("GSDF").run(residual, rng=0)
+        assert len(empty) == 0
+
+    def test_pipeline_replan_valid_against_midflight_state(self, instance):
+        state = SystemState(instance)
+        schedule = build_pipeline("GOLCF").run(instance, rng=0)
+        for idx in range(len(schedule) // 3):
+            state.apply(schedule[idx])
+        pipeline = build_pipeline("GOLCF+H1+H2")
+        remainder = pipeline.replan(instance, state.placement(), rng=2)
+        for action in remainder:
+            state.apply(action)
+        assert state.matches(instance.x_new)
+
+
+class TestCrashState:
+    def test_crash_server_returns_replayable_deletes(self, instance):
+        state = SystemState(instance)
+        before = state.placement()
+        lost = state.crash_server(3)
+        assert [d.server for d in lost] == [3] * len(lost)
+        assert sorted(d.obj for d in lost) == [d.obj for d in lost]
+        replay = SystemState(instance, placement=before)
+        for delete in lost:
+            replay.apply(delete)
+        assert replay.matches(state.placement())
+
+    def test_crash_frees_storage(self, instance):
+        state = SystemState(instance)
+        free_before = state.free_space(3)
+        state.crash_server(3)
+        assert state.free_space(3) >= free_before
+        assert state.free_space(3) == pytest.approx(
+            float(instance.capacities[3])
+        )
+
+    def test_dummy_cannot_crash(self, instance):
+        state = SystemState(instance)
+        with pytest.raises(InvalidActionError):
+            state.crash_server(instance.dummy)
+        with pytest.raises(InvalidActionError):
+            state.crash_server(-1)

@@ -30,6 +30,18 @@ class TestUniform:
         with pytest.raises(ConfigurationError):
             uniform_bandwidths(3, dummy_rate=-1.0)
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_rate_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            uniform_bandwidths(3, rate=bad)
+        with pytest.raises(ConfigurationError):
+            uniform_bandwidths(3, dummy_rate=bad)
+
+    def test_default_dummy_rate_is_none(self):
+        # dummy_rate defaults to None (rate / 10), not a bogus float
+        bw = uniform_bandwidths(3, rate=10.0)
+        assert bw[3, 0] == 1.0
+
 
 class TestFromCosts:
     def test_inverse_relation(self):
@@ -51,6 +63,26 @@ class TestFromCosts:
         with pytest.raises(ConfigurationError):
             bandwidths_from_costs(np.zeros((2, 2)), scale=0.0)
 
+    def test_zero_off_diagonal_cost_rejected(self):
+        # A zero cost off the diagonal would mean infinite bandwidth
+        # between two distinct servers — a configuration error, not a
+        # silent division by zero.
+        costs = np.array([[0.0, 0.0], [1.0, 0.0]])
+        with pytest.raises(ConfigurationError):
+            bandwidths_from_costs(costs)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_costs_rejected(self, bad):
+        costs = np.array([[0.0, bad], [1.0, 0.0]])
+        with pytest.raises(ConfigurationError):
+            bandwidths_from_costs(costs)
+
+    def test_non_finite_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bandwidths_from_costs(
+                np.array([[0.0, 1.0], [1.0, 0.0]]), scale=float("nan")
+            )
+
 
 class TestTransferDuration:
     def test_formula(self):
@@ -60,3 +92,10 @@ class TestTransferDuration:
     def test_infinite_bandwidth_is_instant(self):
         bw = uniform_bandwidths(2)
         assert transfer_duration(bw, 8.0, 0, 0) == 0.0
+
+    def test_nan_bandwidth_rejected(self):
+        bw = uniform_bandwidths(2)
+        bw = bw.copy()
+        bw[0, 1] = float("nan")
+        with pytest.raises(ConfigurationError):
+            transfer_duration(bw, 8.0, 0, 1)

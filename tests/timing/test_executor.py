@@ -134,6 +134,16 @@ class TestDeadline:
     def test_default_bandwidths(self, instance, schedule):
         assert meets_deadline(schedule, instance, float("inf"))
 
+    def test_relative_tolerance(self, instance, schedule, bandwidths):
+        # A deadline one float-ulp below the makespan is a rounding
+        # artefact, not a miss: the relative tolerance must absorb it.
+        result = simulate_parallel(schedule, instance, bandwidths)
+        just_below = np.nextafter(result.makespan, 0.0)
+        assert meets_deadline(schedule, instance, just_below, bandwidths)
+        assert meets_deadline(
+            schedule, instance, result.makespan * (1 - 1e-12), bandwidths
+        )
+
     def test_makespan_by_pipeline(self, instance):
         results = makespan_by_pipeline(instance, ["RDF", "GOLCF+H1+H2+OP1"])
         assert set(results) == {"RDF", "GOLCF+H1+H2+OP1"}

@@ -11,6 +11,14 @@ from repro.timing.gantt import render_gantt
 from repro.workloads.regular import paper_instance
 
 
+def test_exported_from_package():
+    # render_gantt is part of the public repro.timing surface
+    import repro.timing
+
+    assert repro.timing.render_gantt is render_gantt
+    assert "render_gantt" in repro.timing.__all__
+
+
 class TestRenderGantt:
     def test_empty_execution(self, tiny_instance):
         bw = uniform_bandwidths(3)
