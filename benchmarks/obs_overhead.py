@@ -1,0 +1,111 @@
+"""Measure the runtime overhead of the observability layer.
+
+The zero-overhead-when-off contract is structural (hot paths capture
+instruments once and skip them with a single ``is None`` check), but
+this script puts a number on it. Three configurations of the same
+seeded pipeline build are timed in interleaved rounds (so clock drift
+and cache warmth cancel out):
+
+* ``disabled`` — no observability context at all (the production path);
+* ``null``     — :data:`repro.obs.NULL_TRACER` explicitly installed,
+  metrics off: must be indistinguishable from ``disabled``;
+* ``enabled``  — a live :class:`~repro.obs.Tracer` plus
+  :class:`~repro.obs.MetricsRegistry`.
+
+Reported ratios (written to ``benchmarks/results/BENCH_obs.json``):
+
+* ``disabled_ratio`` = median(null) / median(disabled) — the cost of
+  the disabled instrumentation path; the obs-smoke CI job flags > 1.05;
+* ``enabled_ratio`` = median(enabled) / median(disabled) — telemetry
+  for how expensive full recording is (not gated; it does real work).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/obs_overhead.py \
+        [--pipeline GOLCF+H1+H2+OP1] [--servers 20] [--objects 100] \
+        [--rounds 7] [--out benchmarks/results/BENCH_obs.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+
+from repro.core.pipeline import build_pipeline
+from repro.obs import MetricsRegistry, NULL_TRACER, Tracer, observed, use_tracer
+from repro.workloads.regular import paper_instance
+
+FORMAT = "rtsp-bench-obs/1"
+
+
+def _time_build(pipeline, instance, seed) -> float:
+    start = time.perf_counter()
+    pipeline.run(instance, rng=seed)
+    return time.perf_counter() - start
+
+
+def measure(pipeline_name, servers, objects, rounds, seed=0):
+    pipeline = build_pipeline(pipeline_name)
+    instance = paper_instance(
+        replicas=2, num_servers=servers, num_objects=objects, rng=seed
+    )
+    pipeline.run(instance, rng=seed)  # warm-up (JIT-free, but touches caches)
+    samples = {"disabled": [], "null": [], "enabled": []}
+    for _ in range(rounds):
+        samples["disabled"].append(_time_build(pipeline, instance, seed))
+        with use_tracer(NULL_TRACER):
+            samples["null"].append(_time_build(pipeline, instance, seed))
+        with observed(tracer=Tracer(), metrics=MetricsRegistry()):
+            samples["enabled"].append(_time_build(pipeline, instance, seed))
+    medians = {k: statistics.median(v) for k, v in samples.items()}
+    return {
+        "format": FORMAT,
+        "pipeline": pipeline_name,
+        "num_servers": servers,
+        "num_objects": objects,
+        "rounds": rounds,
+        "seed": seed,
+        "median_seconds": medians,
+        "disabled_ratio": medians["null"] / medians["disabled"],
+        "enabled_ratio": medians["enabled"] / medians["disabled"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--pipeline", default="GOLCF+H1+H2+OP1")
+    parser.add_argument("--servers", type=int, default=20)
+    parser.add_argument("--objects", type=int, default=100)
+    parser.add_argument("--rounds", type=int, default=7)
+    parser.add_argument("--threshold", type=float, default=1.05,
+                        help="fail when disabled_ratio exceeds this")
+    parser.add_argument("--out", default="benchmarks/results/BENCH_obs.json")
+    args = parser.parse_args(argv)
+
+    result = measure(args.pipeline, args.servers, args.objects, args.rounds)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(
+        f"{args.pipeline} ({args.servers}x{args.objects}, "
+        f"{args.rounds} rounds): "
+        f"disabled={result['median_seconds']['disabled'] * 1e3:.1f}ms  "
+        f"disabled_ratio={result['disabled_ratio']:.3f}  "
+        f"enabled_ratio={result['enabled_ratio']:.3f}"
+    )
+    print(f"wrote {args.out}")
+    if result["disabled_ratio"] > args.threshold:
+        print(
+            f"FAIL: disabled_ratio {result['disabled_ratio']:.3f} "
+            f"> {args.threshold}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -103,6 +103,11 @@ class RepairStats:
     makespan_stretch:
         Repaired wall-clock over fault-free makespan (1.0 when unhurt;
         1.0 by convention when the fault-free makespan is zero).
+    replans:
+        Re-planning invocations the engine performed (can diverge from
+        ``repair_rounds`` under retry policies that skip re-planning).
+    backoff_total:
+        Total simulated backoff downtime charged before re-plans.
     """
 
     cost_overhead: float
@@ -110,6 +115,8 @@ class RepairStats:
     repair_rounds: int
     dummy_fallbacks: int
     makespan_stretch: float
+    replans: int = 0
+    backoff_total: float = 0.0
 
     def as_dict(self) -> Dict[str, float]:
         """Flat dict view for CSV/JSON writers."""
@@ -119,6 +126,8 @@ class RepairStats:
             "repair_rounds": self.repair_rounds,
             "dummy_fallbacks": self.dummy_fallbacks,
             "makespan_stretch": self.makespan_stretch,
+            "replans": self.replans,
+            "backoff_total": self.backoff_total,
         }
 
 
@@ -147,4 +156,8 @@ def repair_stats(report) -> RepairStats:
             0, report.dummy_transfers - report.fault_free_dummy_transfers
         ),
         makespan_stretch=stretch,
+        # getattr keeps duck-type compatibility with reports predating
+        # the retry/backoff counters.
+        replans=int(getattr(report, "replans", report.rounds)),
+        backoff_total=float(getattr(report, "backoff_total", 0.0)),
     )

@@ -21,6 +21,7 @@ from repro.model.actions import Delete, Transfer
 from repro.model.instance import RtspInstance
 from repro.model.schedule import Schedule
 from repro.model.state import SystemState
+from repro.obs.context import current_metrics
 from repro.util.errors import ConfigurationError
 from repro.util.rng import ensure_rng
 
@@ -138,6 +139,11 @@ def append_transfer_from_nearest(
     action = Transfer(target, obj, source)
     state.apply(action)
     schedule.append(action)
+    registry = current_metrics()
+    if registry is not None:
+        registry.counter("builder.transfers").inc()
+        if source == state.dummy:
+            registry.counter("builder.dummy_transfers").inc()
     return action
 
 

@@ -20,6 +20,7 @@ from repro.model.actions import Delete
 from repro.model.instance import RtspInstance
 from repro.model.schedule import Schedule
 from repro.model.state import CAPACITY_EPS, SystemState
+from repro.obs.context import current_metrics
 
 from repro.core.base import golcf_benefit, shuffled_pairs
 
@@ -97,12 +98,22 @@ class PendingTransferSelector:
         self._starts = starts
         self._cost = np.full(total, np.inf)
         self._dirty = set(self._objs)
+        registry = current_metrics()
+        if registry is None:
+            self._c_scanned = self._c_refreshes = self._c_queries = None
+        else:
+            self._c_scanned = registry.counter("builder.candidates_scanned")
+            self._c_refreshes = registry.counter("builder.selector_refreshes")
+            self._c_queries = registry.counter("builder.selector_queries")
 
     def _refresh_obj(self, obj: int) -> None:
         pend = self._pend[obj]
         base = self._starts[self._slot[obj]]
         size = float(self._sizes[obj])
         holders = self._index.holders(obj)
+        if self._c_scanned is not None:
+            self._c_refreshes.value += 1
+            self._c_scanned.value += len(pend) * (len(holders) + 1)
         costs = self._costs
         dummy = self._dummy
         flat = self._cost
@@ -116,13 +127,12 @@ class PendingTransferSelector:
                         best = c
                 flat[base + off] = size * best
         else:
+            # Large block: read the index's cached per-server cost row
+            # (``l_{i,N(i,k,X)}`` — the exact quantity this slice holds;
+            # pending targets never hold ``obj``, so self-exclusion is
+            # vacuous) instead of re-gathering the holder columns.
             pend_arr = np.asarray(pend, dtype=np.intp)
-            units = costs[pend_arr, dummy]
-            if holders:
-                h = np.fromiter(holders, dtype=np.intp, count=len(holders))
-                units = np.minimum(
-                    costs[np.ix_(pend_arr, h)].min(axis=1), units
-                )
+            units = self._index.nearest_cost_row(obj)[pend_arr]
             flat[base : base + len(pend)] = size * units
 
     def mark_dirty(self, obj: int) -> None:
@@ -132,6 +142,8 @@ class PendingTransferSelector:
 
     def best(self) -> Tuple[int, int, int]:
         """``(obj, position, target)`` of the cheapest pending transfer."""
+        if self._c_queries is not None:
+            self._c_queries.value += 1
         if self._dirty:
             for obj in self._dirty:
                 self._refresh_obj(obj)
@@ -182,12 +194,18 @@ class EvictionBenefitCache:
     otherwise.
     """
 
-    __slots__ = ("_index", "_waiting", "_store")
+    __slots__ = ("_index", "_waiting", "_store", "_c_hits", "_c_misses")
 
     def __init__(self, state: SystemState, waiting: Dict[int, Set[int]]) -> None:
         self._index = state.index
         self._waiting = waiting
         self._store: Dict[Tuple[int, int], Tuple[Tuple[int, int], float]] = {}
+        registry = current_metrics()
+        if registry is None:
+            self._c_hits = self._c_misses = None
+        else:
+            self._c_hits = registry.counter("builder.benefit_cache_hits")
+            self._c_misses = registry.counter("builder.benefit_cache_misses")
 
     def get(self, target: int, obj: int) -> float:
         pending = self._waiting.get(obj)
@@ -197,7 +215,11 @@ class EvictionBenefitCache:
         stamp = (self._index.versions[obj], len(pending))
         hit = self._store.get(key)
         if hit is not None and hit[0] == stamp:
+            if self._c_hits is not None:
+                self._c_hits.value += 1
             return hit[1]
+        if self._c_misses is not None:
+            self._c_misses.value += 1
         value = self._index.keep_benefit(target, obj, pending)
         self._store[key] = (stamp, value)
         return value
@@ -271,6 +293,10 @@ def evict_for(
         state.apply(action)
         schedule.append(action)
         victims.append(victim)
+    if victims:
+        registry = current_metrics()
+        if registry is not None:
+            registry.counter("builder.evictions").inc(len(victims))
     return victims
 
 

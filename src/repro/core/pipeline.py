@@ -8,7 +8,7 @@ combination (§6) is ``GOLCF+H1+H2+OP1``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.base import (
     ScheduleBuilder,
@@ -19,20 +19,27 @@ from repro.core.base import (
 from repro.model.instance import RtspInstance
 from repro.model.residual import residual_instance
 from repro.model.schedule import Schedule
+from repro.obs.context import current_metrics, current_tracer
+from repro.obs.profile import StageProfiler
 from repro.util.errors import ConfigurationError
 from repro.util.rng import ensure_rng
-from repro.util.timing import Stopwatch
 
 
 @dataclass(frozen=True)
 class StageResult:
-    """Metrics of the schedule after one pipeline stage."""
+    """Metrics of the schedule after one pipeline stage.
+
+    ``counters`` holds the observability counters this stage bumped
+    (post-stage minus pre-stage registry values) — empty when no
+    :class:`~repro.obs.metrics.MetricsRegistry` is active.
+    """
 
     stage: str
     cost: float
     dummy_transfers: int
     num_actions: int
     seconds: float
+    counters: Mapping[str, int] = field(default_factory=dict)
 
 
 class Pipeline:
@@ -56,19 +63,48 @@ class Pipeline:
         return schedule
 
     def run_with_stats(
-        self, instance: RtspInstance, rng=None
+        self, instance: RtspInstance, rng=None, tracer=None
     ) -> Tuple[Schedule, List[StageResult]]:
-        """Like :meth:`run` but also records per-stage metrics and timing."""
+        """Like :meth:`run` but also records per-stage metrics and timing.
+
+        ``tracer`` defaults to the active one (see
+        :func:`repro.obs.context.current_tracer`); each stage runs inside a
+        ``"stage"`` span annotated with the schedule metrics, and — when a
+        metrics registry is active — its counter deltas land both on the
+        returned :class:`StageResult` and in ``stage.<name>.seconds``
+        histograms.
+        """
         gen = ensure_rng(rng)
-        watch = Stopwatch()
+        if tracer is None:
+            tracer = current_tracer()
+        registry = current_metrics()
+        watch = StageProfiler()
         stats: List[StageResult] = []
-        with watch.lap(self.builder.name):
-            schedule = self.builder.build(instance, rng=gen)
-        stats.append(self._stage_result(self.builder.name, schedule, instance, watch))
-        for opt in self.optimizers:
-            with watch.lap(opt.name):
-                schedule = opt.optimize(instance, schedule, rng=gen)
-            stats.append(self._stage_result(opt.name, schedule, instance, watch))
+        with tracer.span("pipeline", pipeline=self.name):
+            schedule = None
+            for stage in [self.builder] + self.optimizers:
+                with tracer.span("stage", stage=stage.name):
+                    before = (
+                        registry.counter_values()
+                        if registry is not None
+                        else None
+                    )
+                    with watch.stage(stage.name):
+                        if schedule is None:
+                            schedule = stage.build(instance, rng=gen)
+                        else:
+                            schedule = stage.optimize(
+                                instance, schedule, rng=gen
+                            )
+                    result = self._stage_result(
+                        stage.name, schedule, instance, watch, registry, before
+                    )
+                    tracer.annotate(
+                        cost=result.cost,
+                        dummy_transfers=result.dummy_transfers,
+                        num_actions=result.num_actions,
+                    )
+                stats.append(result)
         return schedule, stats
 
     def replan(self, instance: RtspInstance, placement, rng=None) -> Schedule:
@@ -85,14 +121,30 @@ class Pipeline:
 
     @staticmethod
     def _stage_result(
-        stage: str, schedule: Schedule, instance: RtspInstance, watch: Stopwatch
+        stage: str,
+        schedule: Schedule,
+        instance: RtspInstance,
+        watch: StageProfiler,
+        registry=None,
+        before: Optional[Dict[str, int]] = None,
     ) -> StageResult:
+        seconds = watch.laps.get(stage, 0.0)
+        counters: Dict[str, int] = {}
+        if registry is not None:
+            base = before or {}
+            counters = {
+                name: delta
+                for name, value in registry.counter_values().items()
+                if (delta := value - base.get(name, 0))
+            }
+            registry.histogram(f"stage.{stage}.seconds").observe(seconds)
         return StageResult(
             stage=stage,
             cost=schedule.cost(instance),
             dummy_transfers=schedule.count_dummy_transfers(instance),
             num_actions=len(schedule),
-            seconds=watch.laps.get(stage, 0.0),
+            seconds=seconds,
+            counters=counters,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -23,6 +23,7 @@ import argparse
 import json
 import os
 import sys
+from contextlib import ExitStack
 from typing import List, Optional
 
 from repro.experiments.config import SCALES, get_scale
@@ -35,6 +36,7 @@ from repro.experiments.robust_sweep import (
     run_robust_sweep,
 )
 from repro.experiments.runner import run_figure
+from repro.obs import MetricsRegistry, Tracer, observed, profiled
 from repro.util.errors import ConfigurationError
 
 
@@ -96,6 +98,36 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress lines"
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "record the run and write an rtsp-trace/1 JSONL trace to PATH "
+            "(inspect with 'rtsp-tool trace-summary PATH')"
+        ),
+    )
+    parser.add_argument(
+        "--chrome-trace",
+        default=None,
+        metavar="PATH",
+        help="also write a chrome://tracing / Perfetto JSON trace to PATH",
+    )
+    parser.add_argument(
+        "--metrics-json",
+        default=None,
+        metavar="PATH",
+        help=(
+            "collect observability counters (nearest-index cache, builder "
+            "scans, executor queues, repair rounds) and write an "
+            "rtsp-metrics/1 snapshot to PATH"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the hottest functions at the end",
+    )
     return parser
 
 
@@ -110,9 +142,28 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     progress = None if args.quiet else lambda line: print("  " + line, flush=True)
 
-    if args.figure.lower() == "robust":
-        return _run_robust(args, scale, progress)
+    tracer = (
+        Tracer(meta={"figure": args.figure, "scale": scale.name})
+        if (args.trace or args.chrome_trace)
+        else None
+    )
+    metrics = MetricsRegistry() if args.metrics_json else None
 
+    profile_report = None
+    with ExitStack() as stack:
+        stack.enter_context(observed(tracer=tracer, metrics=metrics))
+        if args.profile:
+            profile_report = stack.enter_context(profiled())
+        if args.figure.lower() == "robust":
+            code = _run_robust(args, scale, progress)
+        else:
+            code = _run_figures(args, scale, progress)
+    _write_obs_artifacts(args, tracer, metrics, profile_report)
+    return code
+
+
+def _run_figures(args, scale, progress) -> int:
+    """Handle the figure sweeps (everything except ``--figure robust``)."""
     if args.figure.lower() == "all":
         specs = [FIGURES[key] for key in sorted(FIGURES)]
     else:
@@ -137,6 +188,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                 fh.write(render_csv(result))
             print(f"wrote {path}")
     return 0
+
+
+def _write_obs_artifacts(args, tracer, metrics, profile_report) -> None:
+    """Write --trace / --chrome-trace / --metrics-json / --profile output."""
+    if tracer is not None and args.trace:
+        tracer.write_jsonl(args.trace)
+        print(f"wrote {args.trace}")
+    if tracer is not None and args.chrome_trace:
+        tracer.write_chrome(args.chrome_trace)
+        print(f"wrote {args.chrome_trace}")
+    if metrics is not None:
+        metrics.write_json(args.metrics_json)
+        print(f"wrote {args.metrics_json}")
+    if profile_report is not None:
+        print()
+        print(profile_report.text)
 
 
 def _run_robust(args, scale, progress) -> int:

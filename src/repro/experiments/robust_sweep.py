@@ -65,6 +65,14 @@ class RobustCell:
     def makespan_stretch(self) -> float:
         return self._mean(lambda s: s.makespan_stretch)
 
+    @property
+    def replans(self) -> float:
+        return self._mean(lambda s: s.replans)
+
+    @property
+    def backoff_total(self) -> float:
+        return self._mean(lambda s: s.backoff_total)
+
 
 @dataclass
 class RobustSweepResult:
@@ -111,6 +119,8 @@ class RobustSweepResult:
                     "repair_rounds": c.repair_rounds,
                     "dummy_fallbacks": c.dummy_fallbacks,
                     "makespan_stretch": c.makespan_stretch,
+                    "replans": c.replans,
+                    "backoff_total": c.backoff_total,
                     "repetitions": [s.as_dict() for s in c.stats],
                 }
                 for c in self.cells
@@ -122,7 +132,7 @@ def render_robust_table(result: RobustSweepResult) -> str:
     """ASCII table of the sweep, one row per ``(rate, pipeline)``."""
     header = (
         f"{'rate':>6}  {'pipeline':<16} {'overhead':>9} {'rounds':>7} "
-        f"{'dummy+':>7} {'stretch':>8}"
+        f"{'replans':>8} {'backoff':>8} {'dummy+':>7} {'stretch':>8}"
     )
     lines = [
         f"Robustness sweep [scale={result.scale.name}, "
@@ -133,7 +143,8 @@ def render_robust_table(result: RobustSweepResult) -> str:
     for c in result.cells:
         lines.append(
             f"{c.rate:>6g}  {c.pipeline:<16} {c.cost_overhead:>8.1%} "
-            f"{c.repair_rounds:>7.2f} {c.dummy_fallbacks:>7.2f} "
+            f"{c.repair_rounds:>7.2f} {c.replans:>8.2f} "
+            f"{c.backoff_total:>8.3g} {c.dummy_fallbacks:>7.2f} "
             f"{c.makespan_stretch:>8.3f}"
         )
     return "\n".join(lines)
@@ -142,14 +153,14 @@ def render_robust_table(result: RobustSweepResult) -> str:
 def render_robust_csv(result: RobustSweepResult) -> str:
     """CSV view of the sweep (same rows as the table)."""
     lines = [
-        "rate,pipeline,cost_overhead,repair_rounds,dummy_fallbacks,"
-        "makespan_stretch"
+        "rate,pipeline,cost_overhead,repair_rounds,replans,backoff_total,"
+        "dummy_fallbacks,makespan_stretch"
     ]
     for c in result.cells:
         lines.append(
             f"{c.rate:g},{c.pipeline},{c.cost_overhead:.6g},"
-            f"{c.repair_rounds:.6g},{c.dummy_fallbacks:.6g},"
-            f"{c.makespan_stretch:.6g}"
+            f"{c.repair_rounds:.6g},{c.replans:.6g},{c.backoff_total:.6g},"
+            f"{c.dummy_fallbacks:.6g},{c.makespan_stretch:.6g}"
         )
     return "\n".join(lines) + "\n"
 

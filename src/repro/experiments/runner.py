@@ -19,13 +19,18 @@ import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.analysis.metrics import schedule_stats
 from repro.core.pipeline import build_pipeline
 from repro.experiments.config import ExperimentScale, FigureSpec
+from repro.obs.context import current_metrics, current_tracer, observed
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, Tracer
+from repro.timing.bandwidth import bandwidths_from_costs
+from repro.timing.executor import simulate_parallel
 from repro.util.rng import derive_seed
 
 
@@ -49,12 +54,20 @@ class CellResult:
 
 @dataclass
 class FigureResult:
-    """All cells of one figure, plus run metadata."""
+    """All cells of one figure, plus run metadata.
+
+    ``metrics`` is the merged observability snapshot
+    (``rtsp-metrics/1``, see :class:`repro.obs.metrics.MetricsRegistry`)
+    when a registry was active during the run — aggregated across *all*
+    repetitions, including ones that ran on pool workers — and ``None``
+    otherwise.
+    """
 
     spec: FigureSpec
     scale: ExperimentScale
     cells: List[CellResult] = field(default_factory=list)
     seconds: float = 0.0
+    metrics: Optional[Dict[str, Any]] = None
 
     def series(self, pipeline: str) -> List[float]:
         """Mean metric per x value for one pipeline, in x order."""
@@ -71,8 +84,9 @@ class FigureResult:
 
 #: Inherited by forked pool workers (set just before the pool starts, so
 #: the spec — which may close over non-picklable factories — never needs
-#: to cross a pickle boundary).
-_WORKER_CONTEXT: Optional[Tuple[FigureSpec, ExperimentScale]] = None
+#: to cross a pickle boundary). The two booleans tell workers whether to
+#: record a metrics snapshot / a trace fragment for the parent to merge.
+_WORKER_CONTEXT: Optional[Tuple[FigureSpec, ExperimentScale, bool, bool]] = None
 
 
 def _cell_value(spec: FigureSpec, stats) -> float:
@@ -83,49 +97,120 @@ def _cell_value(spec: FigureSpec, stats) -> float:
     )
 
 
-def _run_repetition(task: Tuple[float, int]) -> Tuple[float, int, Dict[str, Tuple[float, float]]]:
-    """Pool worker: run every pipeline of one ``(x, repetition)`` cell.
+def _execute_cell(
+    spec: FigureSpec,
+    scale: ExperimentScale,
+    x: float,
+    rep: int,
+    want_metrics: bool,
+    want_trace: bool,
+) -> Tuple[
+    Dict[str, Tuple[float, float]],
+    Optional[Dict[str, Any]],
+    Optional[List[Span]],
+]:
+    """Run every pipeline of one ``(x, repetition)`` cell.
 
     Seeds are derived exactly as in the serial loop, so the produced
-    values are independent of which worker runs the task and when.
+    values are independent of which worker runs the task and when. When
+    observability is requested the cell records into a *fresh* registry /
+    tracer fragment (returned as a snapshot / span list for the caller to
+    merge), so the aggregated stream only depends on merge order — which
+    the caller keeps deterministic — never on worker count. Observed
+    cells additionally dry-run each schedule through
+    :func:`~repro.timing.executor.simulate_parallel` (an obs-only extra
+    pass — it never touches the reported values), so executor queue /
+    in-flight samples appear in figure metrics too.
     """
-    x, rep = task
-    spec, scale = _WORKER_CONTEXT
+    registry = MetricsRegistry() if want_metrics else None
+    tracer = Tracer() if want_trace else None
     seed = derive_seed(scale.base_seed, spec.workload_key, scale.name, x, rep)
-    instance = spec.make_instance(x, scale, seed)
     run_seed = derive_seed(scale.base_seed, "pipeline", spec.workload_key, x, rep)
     out: Dict[str, Tuple[float, float]] = {}
-    for name in spec.pipelines:
-        t0 = time.perf_counter()
-        schedule = build_pipeline(name).run(instance, rng=run_seed)
-        stats = schedule_stats(schedule, instance)
-        out[name] = (_cell_value(spec, stats), time.perf_counter() - t0)
-    return x, rep, out
+    with observed(tracer=tracer, metrics=registry):
+        active = current_tracer()
+        with active.span(
+            "repetition", figure=spec.figure_id, x=x, rep=rep
+        ):
+            instance = spec.make_instance(x, scale, seed)
+            bandwidths = (
+                bandwidths_from_costs(instance.costs)
+                if want_metrics or want_trace
+                else None
+            )
+            for name in spec.pipelines:
+                t0 = time.perf_counter()
+                with active.span("cell", pipeline=name):
+                    schedule = build_pipeline(name).run(instance, rng=run_seed)
+                stats = schedule_stats(schedule, instance)
+                out[name] = (_cell_value(spec, stats), time.perf_counter() - t0)
+                if bandwidths is not None:
+                    with active.span("simulate", pipeline=name):
+                        sim = simulate_parallel(schedule, instance, bandwidths)
+                        active.annotate(makespan=sim.makespan)
+    return (
+        out,
+        registry.snapshot() if registry is not None else None,
+        tracer.spans if tracer is not None else None,
+    )
 
 
-def _run_figure_parallel(
+def _run_repetition(task: Tuple[float, int]):
+    """Pool worker: one ``(x, repetition)`` cell under ``_WORKER_CONTEXT``."""
+    x, rep = task
+    spec, scale, want_metrics, want_trace = _WORKER_CONTEXT
+    out, snapshot, spans = _execute_cell(
+        spec, scale, x, rep, want_metrics, want_trace
+    )
+    return x, rep, out, snapshot, spans
+
+
+def _run_figure_tasks(
     spec: FigureSpec,
     scale: ExperimentScale,
     reps: int,
     progress: Optional[Callable[[str], None]],
     workers: int,
+    metrics: Optional[MetricsRegistry],
+    tracer: Optional[Tracer],
 ) -> FigureResult:
-    """Fan the ``(x, repetition)`` grid over a fork-based process pool."""
+    """Run the ``(x, repetition)`` grid as independent cell tasks.
+
+    ``workers > 1`` fans out over a fork-based process pool; otherwise the
+    tasks run in-process, in the same order. Either way, observability
+    fragments are merged in deterministic task order, so counter totals
+    and the logical trace stream are identical for any worker count.
+    """
     global _WORKER_CONTEXT
     result = FigureResult(spec=spec, scale=scale)
     t_start = time.perf_counter()
     tasks = [(x, rep) for x in spec.x_values for rep in range(reps)]
-    ctx = multiprocessing.get_context("fork")
-    _WORKER_CONTEXT = (spec, scale)
-    try:
-        with ProcessPoolExecutor(
-            max_workers=min(workers, max(len(tasks), 1)), mp_context=ctx
-        ) as pool:
-            by_cell = {
-                (x, rep): out for x, rep, out in pool.map(_run_repetition, tasks)
-            }
-    finally:
-        _WORKER_CONTEXT = None
+    want_metrics = metrics is not None
+    want_trace = tracer is not None
+    if workers > 1:
+        ctx = multiprocessing.get_context("fork")
+        _WORKER_CONTEXT = (spec, scale, want_metrics, want_trace)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, max(len(tasks), 1)), mp_context=ctx
+            ) as pool:
+                outputs = list(pool.map(_run_repetition, tasks))
+        finally:
+            _WORKER_CONTEXT = None
+    else:
+        outputs = [
+            (x, rep) + _execute_cell(spec, scale, x, rep, want_metrics, want_trace)
+            for x, rep in tasks
+        ]
+    by_cell: Dict[Tuple[float, int], Dict[str, Tuple[float, float]]] = {}
+    # Merge fragments in task order — pool.map preserves input order, so
+    # the merged stream is independent of scheduling.
+    for x, rep, out, snapshot, spans in outputs:
+        by_cell[(x, rep)] = out
+        if snapshot is not None:
+            metrics.merge(snapshot)
+        if spans is not None:
+            tracer.adopt(spans)
     # Reassemble in the serial loop's deterministic order.
     for x in spec.x_values:
         for name in spec.pipelines:
@@ -143,6 +228,8 @@ def _run_figure_parallel(
                     f"mean={cell.mean:.6g} ({cell.seconds:.1f}s)"
                 )
     result.seconds = time.perf_counter() - t_start
+    if metrics is not None:
+        result.metrics = metrics.snapshot()
     return result
 
 
@@ -152,6 +239,8 @@ def run_figure(
     repetitions: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
     workers: Optional[int] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
 ) -> FigureResult:
     """Run every cell of ``spec`` at ``scale``.
 
@@ -162,8 +251,24 @@ def run_figure(
     platforms without the ``fork`` start method the runner falls back to
     serial execution, emitting a :class:`RuntimeWarning` and a ``progress``
     line so the degradation is visible.
+
+    ``metrics`` / ``tracer`` default to the active observability context
+    (:func:`~repro.obs.context.current_metrics` /
+    :func:`~repro.obs.context.current_tracer`). When either is live, every
+    repetition records into its own fragment — also on pool workers, whose
+    snapshots used to be dropped — and the merged totals land in
+    ``FigureResult.metrics`` / the tracer, identically for any ``workers``
+    value.
     """
     reps = repetitions if repetitions is not None else scale.repetitions
+    if metrics is None:
+        metrics = current_metrics()
+    if tracer is None:
+        active = current_tracer()
+        tracer = active if getattr(active, "enabled", False) else None
+    elif not getattr(tracer, "enabled", False):
+        tracer = None
+    obs_active = metrics is not None or tracer is not None
     if workers is not None and workers > 1:
         try:
             multiprocessing.get_context("fork")
@@ -177,7 +282,13 @@ def run_figure(
             if progress is not None:
                 progress(message)
         else:
-            return _run_figure_parallel(spec, scale, reps, progress, workers)
+            return _run_figure_tasks(
+                spec, scale, reps, progress, workers, metrics, tracer
+            )
+    if obs_active:
+        # Same task loop as the pool path, run in-process: fragments merge
+        # in the same order, so totals match any workers value exactly.
+        return _run_figure_tasks(spec, scale, reps, progress, 1, metrics, tracer)
     pipelines = {name: build_pipeline(name) for name in spec.pipelines}
     result = FigureResult(spec=spec, scale=scale)
     t_start = time.perf_counter()

@@ -43,8 +43,50 @@ from typing import Dict, Iterable, List, Sequence, Set, Tuple
 import numpy as np
 
 from repro.model.instance import RtspInstance
+from repro.obs.context import current_metrics
 
 __all__ = ["NearestSourceIndex", "nearest_bruteforce"]
+
+
+class _IndexMetrics:
+    """Counters the index reports when a metrics registry is active.
+
+    Instruments are captured once at index construction; hot paths bump
+    their ``value`` attribute directly (no method call). When no registry
+    is active the owning index holds ``None`` instead of this holder, so
+    the disabled cost is a single attribute load + ``is None`` check.
+
+    Cache accounting follows the adaptive design: a query answered by
+    the cold scalar path is a row-cache miss (``scalar_queries`` and
+    ``cache_misses`` both bump — deliberately not building the row *is*
+    the miss policy), a query served from cached rows is a hit
+    (``cached_queries`` + ``cache_hits``), and promotions/stale gathers
+    add further ``cache_misses`` via :meth:`NearestSourceIndex._ensure`
+    / :meth:`NearestSourceIndex.nearest_cost_row`.
+    """
+
+    __slots__ = (
+        "scalar_queries",
+        "cached_queries",
+        "cache_hits",
+        "cache_misses",
+        "incremental_updates",
+        "rebuilds",
+        "partial_rebuild_rows",
+    )
+
+    def __init__(self, registry) -> None:
+        self.scalar_queries = registry.counter("nearest_index.scalar_queries")
+        self.cached_queries = registry.counter("nearest_index.cached_queries")
+        self.cache_hits = registry.counter("nearest_index.cache_hits")
+        self.cache_misses = registry.counter("nearest_index.cache_misses")
+        self.incremental_updates = registry.counter(
+            "nearest_index.incremental_updates"
+        )
+        self.rebuilds = registry.counter("nearest_index.rebuilds")
+        self.partial_rebuild_rows = registry.counter(
+            "nearest_index.partial_rebuild_rows"
+        )
 
 
 class NearestSourceIndex:
@@ -78,6 +120,7 @@ class NearestSourceIndex:
         "_cost_row",
         "_cost_row_version",
         "versions",
+        "_m",
     )
 
     def __init__(
@@ -103,6 +146,8 @@ class NearestSourceIndex:
         #: (cached or not). Consumers can compare stamps to skip
         #: recomputing derived values for untouched objects.
         self.versions: List[int] = [0] * instance.num_objects
+        registry = current_metrics()
+        self._m = None if registry is None else _IndexMetrics(registry)
 
     # ------------------------------------------------------------------
     # cache construction (hot objects)
@@ -120,6 +165,12 @@ class NearestSourceIndex:
         column (a server never sources from itself), and the first
         minimum wins — reproducing the scalar tie-breaking exactly.
         """
+        m = self._m
+        if m is not None:
+            if rows is None:
+                m.rebuilds.value += 1
+            else:
+                m.partial_rebuild_rows.value += len(rows)
         cand = self._candidates(obj)
         holders = cand[:-1]
         if rows is None:
@@ -150,7 +201,11 @@ class NearestSourceIndex:
 
     def _ensure(self, obj: int) -> None:
         if obj not in self._best1:
+            if self._m is not None:
+                self._m.cache_misses.value += 1
             self._rebuild(obj)
+        elif self._m is not None:
+            self._m.cache_hits.value += 1
 
     def is_cached(self, obj: int) -> bool:
         """Whether ``obj`` currently has incrementally-maintained rows."""
@@ -171,6 +226,8 @@ class NearestSourceIndex:
         best1 = self._best1.get(obj)
         if best1 is None:
             return
+        if self._m is not None:
+            self._m.incremental_updates.value += 1
         best2 = self._best2[obj]
         c_new = self._costs[:, server]
         cb1 = self._costs[self._rows, best1]
@@ -192,6 +249,8 @@ class NearestSourceIndex:
         best1 = self._best1.get(obj)
         if best1 is None:
             return
+        if self._m is not None:
+            self._m.incremental_updates.value += 1
         affected = np.flatnonzero(
             (best1 == server) | (self._best2[obj] == server)
         )
@@ -225,7 +284,11 @@ class NearestSourceIndex:
         real-server ties break toward the lowest index.
         """
         best1 = self._best1.get(obj)
+        m = self._m
         if best1 is None:
+            if m is not None:
+                m.scalar_queries.value += 1
+                m.cache_misses.value += 1
             if exclude:
                 return _scalar_nearest(
                     self.instance, self._replicators[obj], server, obj, exclude
@@ -241,6 +304,9 @@ class NearestSourceIndex:
                 if c < best_cost or (c == best_cost and j < best):
                     best, best_cost = j, c
             return best
+        if m is not None:
+            m.cached_queries.value += 1
+            m.cache_hits.value += 1
         first = int(best1[server])
         if not exclude:
             return first
@@ -257,7 +323,11 @@ class NearestSourceIndex:
     def nearest_pair(self, server: int, obj: int) -> Tuple[int, int]:
         """``(N(i,k,X), N2(i,k,X))`` with dummy degradation."""
         best1 = self._best1.get(obj)
+        m = self._m
         if best1 is None:
+            if m is not None:
+                m.scalar_queries.value += 1
+                m.cache_misses.value += 1
             # Cold fast path: one-pass top-2 over the live replicator
             # set, ordered lexicographically by (cost, index) — the
             # dummy's maximal index makes it lose every cost tie.
@@ -277,6 +347,9 @@ class NearestSourceIndex:
             if i1 == dummy:
                 return dummy, dummy
             return i1, i2
+        if m is not None:
+            m.cached_queries.value += 1
+            m.cache_hits.value += 1
         first = int(best1[server])
         if first == self._dummy:
             return first, first
@@ -313,6 +386,8 @@ class NearestSourceIndex:
             self._ensure(obj)
             self._cost_row[obj] = self._costs[self._rows, self._best1[obj]]
             self._cost_row_version[obj] = version
+        elif self._m is not None:
+            self._m.cache_hits.value += 1
         return self._cost_row[obj]
 
     def keep_benefit(
@@ -327,6 +402,14 @@ class NearestSourceIndex:
         """
         best1 = self._best1.get(obj)
         size = float(self.instance.sizes[obj])
+        m = self._m
+        if m is not None:
+            if best1 is None:
+                m.scalar_queries.value += 1
+                m.cache_misses.value += 1
+            else:
+                m.cached_queries.value += 1
+                m.cache_hits.value += 1
         if best1 is None:
             # Cold fast path: fused one-pass top-2 per waiting target
             # (same (cost, index) ordering as :meth:`nearest_pair`),
@@ -375,12 +458,14 @@ class NearestSourceIndex:
         dup._holds = holds
         dup._replicators = replicators
         dup._costs = self._costs
+        dup._dummy = self._dummy
         dup._rows = self._rows
         dup._best1 = {k: v.copy() for k, v in self._best1.items()}
         dup._best2 = {k: v.copy() for k, v in self._best2.items()}
         dup._cost_row = {k: v.copy() for k, v in self._cost_row.items()}
         dup._cost_row_version = dict(self._cost_row_version)
         dup.versions = list(self.versions)
+        dup._m = self._m  # counters are process-wide; copies share them
         return dup
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -1,0 +1,108 @@
+"""`repro.obs` — observability: tracing, metrics and profiling.
+
+A zero-overhead-when-disabled instrumentation layer threaded through
+the build → simulate → repair pipeline. Three pillars:
+
+* :mod:`repro.obs.trace` — span-based :class:`Tracer` with nested
+  spans, deterministic logical event numbering, versioned JSONL export
+  (``rtsp-trace/1``) and Chrome trace-event export; :class:`NullTracer`
+  is the free default.
+* :mod:`repro.obs.metrics` — a process-local :class:`MetricsRegistry`
+  of counters/gauges/histograms whose snapshots merge associatively, so
+  parallel figure runs aggregate worker statistics instead of dropping
+  them. Wired into the nearest-source index, the builders' selector and
+  benefit caches, both simulators, and the repair engine.
+* :mod:`repro.obs.profile` — :class:`StageProfiler` (per-stage wall
+  clocks; successor of ``repro.util.timing.Stopwatch``) plus opt-in
+  cProfile (:func:`profiled`) and tracemalloc (:func:`trace_memory`)
+  context managers.
+
+Activation is context-based (:mod:`repro.obs.context`): install a
+tracer/registry with :func:`observed` and every instrumented layer
+underneath starts reporting; with nothing installed the hot paths pay
+a single ``None`` check. Example::
+
+    from repro.obs import MetricsRegistry, Tracer, observed
+    from repro.core.pipeline import build_pipeline
+
+    tracer, metrics = Tracer(), MetricsRegistry()
+    with observed(tracer=tracer, metrics=metrics):
+        schedule = build_pipeline("GOLCF+H1+H2").run(instance, rng=0)
+    tracer.write_jsonl("trace.jsonl")
+    metrics.write_json("metrics.json")
+"""
+
+from repro.obs.context import (
+    current_metrics,
+    current_tracer,
+    observed,
+    use_metrics,
+    use_tracer,
+)
+from repro.obs.metrics import (
+    METRICS_FORMAT,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.profile import (
+    MemorySnapshot,
+    ProfileReport,
+    StageProfiler,
+    profiled,
+    timed,
+    trace_memory,
+)
+from repro.obs.summary import (
+    SpanAggregate,
+    TraceSummary,
+    render_summary,
+    summarize_spans,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    TRACE_FORMAT,
+    NullTracer,
+    Span,
+    Tracer,
+    load_trace,
+    validate_trace_file,
+    validate_trace_lines,
+)
+
+__all__ = [
+    # trace
+    "TRACE_FORMAT",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "load_trace",
+    "validate_trace_lines",
+    "validate_trace_file",
+    # metrics
+    "METRICS_FORMAT",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    # profile
+    "StageProfiler",
+    "timed",
+    "profiled",
+    "ProfileReport",
+    "trace_memory",
+    "MemorySnapshot",
+    # summary
+    "SpanAggregate",
+    "TraceSummary",
+    "summarize_spans",
+    "render_summary",
+    # context
+    "current_tracer",
+    "current_metrics",
+    "use_tracer",
+    "use_metrics",
+    "observed",
+]

@@ -1,0 +1,91 @@
+"""Process-local observability context.
+
+Instrumented code never receives a tracer or registry through its
+constructor — that would thread observability arguments through every
+layer. Instead it asks this module for the *active* instruments:
+
+* :func:`current_tracer` — the active :class:`~repro.obs.trace.Tracer`,
+  or the shared :data:`~repro.obs.trace.NULL_TRACER` when tracing is
+  off (so callers can use it unconditionally);
+* :func:`current_metrics` — the active
+  :class:`~repro.obs.metrics.MetricsRegistry`, or ``None`` when metrics
+  are off (so hot paths can skip instrumentation with a single ``is
+  None`` check, captured once at construction time).
+
+The context is installed with the :func:`use_tracer` / :func:`use_metrics`
+/ :func:`observed` context managers. It is deliberately a plain
+process-global (not a thread/context variable): the workloads parallelize
+over *processes* (fork pools), where each worker installs its own
+context, and the zero-overhead-when-off contract rules out contextvar
+lookups on hot paths.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "current_tracer",
+    "current_metrics",
+    "use_tracer",
+    "use_metrics",
+    "observed",
+]
+
+_active_tracer: Union[Tracer, NullTracer] = NULL_TRACER
+_active_metrics: Optional[MetricsRegistry] = None
+
+
+def current_tracer() -> Union[Tracer, NullTracer]:
+    """The active tracer (:data:`NULL_TRACER` when tracing is off)."""
+    return _active_tracer
+
+
+def current_metrics() -> Optional[MetricsRegistry]:
+    """The active metrics registry, or ``None`` when metrics are off."""
+    return _active_metrics
+
+
+@contextmanager
+def use_tracer(tracer: Optional[Union[Tracer, NullTracer]]) -> Iterator[None]:
+    """Install ``tracer`` as the active tracer for the ``with`` block.
+
+    ``None`` maps to :data:`NULL_TRACER` (tracing off), so callers can
+    pass an optional tracer straight through.
+    """
+    global _active_tracer
+    previous = _active_tracer
+    _active_tracer = NULL_TRACER if tracer is None else tracer
+    try:
+        yield
+    finally:
+        _active_tracer = previous
+
+
+@contextmanager
+def use_metrics(registry: Optional[MetricsRegistry]) -> Iterator[None]:
+    """Install ``registry`` as the active metrics sink for the block.
+
+    ``None`` turns metrics off for the block.
+    """
+    global _active_metrics
+    previous = _active_metrics
+    _active_metrics = registry
+    try:
+        yield
+    finally:
+        _active_metrics = previous
+
+
+@contextmanager
+def observed(
+    tracer: Optional[Union[Tracer, NullTracer]] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> Iterator[None]:
+    """Install both instruments at once (either may be ``None``)."""
+    with use_tracer(tracer), use_metrics(metrics):
+        yield

@@ -1,0 +1,93 @@
+"""Human-readable summaries of recorded traces.
+
+Backs the ``repro tools trace-summary`` subcommand: aggregates a span
+list by name (count, total/mean wall time) and rolls every span's
+logical counters into one table, so a single trace file answers "where
+did the time go" and "what did the algorithms actually do".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from repro.obs.trace import Span
+
+__all__ = ["SpanAggregate", "TraceSummary", "summarize_spans", "render_summary"]
+
+
+@dataclass
+class SpanAggregate:
+    """Aggregate over every span sharing one name."""
+
+    name: str
+    count: int = 0
+    total_wall: float = 0.0
+    max_wall: float = 0.0
+
+    @property
+    def mean_wall(self) -> float:
+        return self.total_wall / self.count if self.count else 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Aggregated view of one trace."""
+
+    header: Dict[str, Any]
+    spans: List[SpanAggregate] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
+
+
+def summarize_spans(
+    header: Dict[str, Any], spans: Sequence[Span]
+) -> TraceSummary:
+    """Aggregate ``spans`` by name and merge every span's counters."""
+    by_name: Dict[str, SpanAggregate] = {}
+    counters: Dict[str, float] = dict(header.get("counters", {}))
+    for span in spans:
+        agg = by_name.get(span.name)
+        if agg is None:
+            agg = by_name[span.name] = SpanAggregate(span.name)
+        agg.count += 1
+        duration = max(span.wall_duration, 0.0)
+        agg.total_wall += duration
+        if duration > agg.max_wall:
+            agg.max_wall = duration
+        for key, value in span.counters.items():
+            counters[key] = counters.get(key, 0) + value
+    aggregates = sorted(by_name.values(), key=lambda a: -a.total_wall)
+    return TraceSummary(header=header, spans=aggregates, counters=counters)
+
+
+def render_summary(summary: TraceSummary, top: int = 15) -> str:
+    """ASCII rendering: top spans by total wall time + counter table."""
+    meta = summary.header.get("meta", {})
+    lines = [
+        f"Trace summary [{summary.header.get('format', '?')}, "
+        f"{summary.header.get('spans', 0)} spans"
+        + (f", meta={meta}" if meta else "")
+        + "]",
+        "",
+        f"Top {min(top, len(summary.spans))} spans by total wall time:",
+        f"{'span':<28} {'count':>7} {'total':>10} {'mean':>10} {'max':>10}",
+        "-" * 69,
+    ]
+    for agg in summary.spans[:top]:
+        lines.append(
+            f"{agg.name:<28} {agg.count:>7} {agg.total_wall:>9.4f}s "
+            f"{agg.mean_wall:>9.4f}s {agg.max_wall:>9.4f}s"
+        )
+    if not summary.spans:
+        lines.append("(no spans recorded)")
+    lines.append("")
+    if summary.counters:
+        width = max(len(k) for k in summary.counters)
+        lines.append("Counters:")
+        for name in sorted(summary.counters):
+            value = summary.counters[name]
+            rendered = f"{value:g}" if isinstance(value, float) else str(value)
+            lines.append(f"  {name.ljust(width)} : {rendered}")
+    else:
+        lines.append("Counters: (none recorded)")
+    return "\n".join(lines)

@@ -34,6 +34,7 @@ from repro.model.actions import Transfer
 from repro.model.instance import RtspInstance
 from repro.model.schedule import Schedule
 from repro.model.state import SystemState
+from repro.obs.context import current_metrics, current_tracer
 from repro.robust.faults import FaultPlan
 from repro.timing.bandwidth import bandwidths_from_costs
 from repro.timing.executor import simulate_parallel
@@ -97,6 +98,11 @@ class RepairReport:
     fault_free_makespan: float = 0.0
     fault_free_dummy_transfers: int = 0
     plan: Optional[FaultPlan] = None
+    #: Re-plans actually performed (== ``rounds`` in the current loop, but
+    #: kept separate so future policies can retry without re-planning).
+    replans: int = 0
+    #: Total simulated backoff downtime charged before re-plans.
+    backoff_total: float = 0.0
 
     def applied_schedule(self) -> Schedule:
         """The applied (``ok`` + ``lost``) events as a plain schedule."""
@@ -158,6 +164,8 @@ class RepairEngine:
         ``instance`` before returning.
         """
         seed = int(rng)
+        registry = current_metrics()
+        tracer = current_tracer()
         bandwidths = (
             bandwidths_from_costs(instance.costs)
             if self.bandwidths is None
@@ -198,19 +206,20 @@ class RepairEngine:
         max_rounds = self.policy.bound(plan)
 
         while True:
-            result = simulate_with_faults(
-                schedule,
-                instance,
-                bandwidths,
-                state,
-                fail_attempts=fail_attempts,
-                crashes=remaining_crashes,
-                slowdowns=slowdowns,
-                out_slots=self.out_slots,
-                in_slots=self.in_slots,
-                start_time=clock,
-                attempt_offset=attempts,
-            )
+            with tracer.span("repair.round", round=report.rounds):
+                result = simulate_with_faults(
+                    schedule,
+                    instance,
+                    bandwidths,
+                    state,
+                    fail_attempts=fail_attempts,
+                    crashes=remaining_crashes,
+                    slowdowns=slowdowns,
+                    out_slots=self.out_slots,
+                    in_slots=self.in_slots,
+                    start_time=clock,
+                    attempt_offset=attempts,
+                )
             report.events.extend(result.trace)
             report.wasted_cost += result.wasted_cost
             attempts += result.attempts
@@ -236,17 +245,30 @@ class RepairEngine:
                     )
 
             report.rounds += 1
+            if registry is not None:
+                registry.counter("repair.rounds").inc()
             if report.rounds > max_rounds:
                 raise RepairExhaustedError(
                     f"gave up after {max_rounds} repair rounds "
                     f"(last failure: {result.failure})"
                 )
-            clock += self.policy.backoff(report.rounds)
-            schedule = self.pipeline.replan(
-                instance,
-                state.placement(),
-                rng=derive_seed(seed, "repair", report.rounds),
-            )
+            backoff = self.policy.backoff(report.rounds)
+            if backoff > 0:
+                report.backoff_total += backoff
+                if registry is not None:
+                    registry.counter("repair.backoff_waits").inc()
+            clock += backoff
+            with tracer.span(
+                "repair.replan", round=report.rounds, reason=result.failure
+            ):
+                schedule = self.pipeline.replan(
+                    instance,
+                    state.placement(),
+                    rng=derive_seed(seed, "repair", report.rounds),
+                )
+            report.replans += 1
+            if registry is not None:
+                registry.counter("repair.replans").inc()
 
         report.completed = True
         report.makespan = clock

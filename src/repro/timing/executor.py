@@ -21,6 +21,7 @@ import numpy as np
 from repro.model.actions import Action, Delete, Transfer
 from repro.model.instance import RtspInstance
 from repro.model.schedule import Schedule
+from repro.obs.context import current_metrics
 from repro.timing.bandwidth import transfer_duration
 from repro.timing.dag import build_dependency_dag, critical_path_length
 from repro.util.errors import ConfigurationError
@@ -105,6 +106,13 @@ def simulate_parallel(
     """
     if out_slots < 1 or in_slots < 1:
         raise ConfigurationError("slot counts must be >= 1")
+    registry = current_metrics()
+    if registry is None:
+        c_started = h_queue = h_flight = None
+    else:
+        c_started = registry.counter("executor.transfers_started")
+        h_queue = registry.histogram("executor.queue_depth")
+        h_flight = registry.histogram("executor.in_flight")
     actions = schedule.actions()
     n = len(actions)
     dag = build_dependency_dag(actions, instance)
@@ -136,6 +144,8 @@ def simulate_parallel(
             if j != dummy:
                 out_used[j] += 1
             in_used[i] += 1
+            if c_started is not None:
+                c_started.value += 1
             finish = now + durations[pos]
             heapq.heappush(running, (finish, pos))
             trace[pos] = TimedAction(pos, action, now, finish)
@@ -149,10 +159,14 @@ def simulate_parallel(
         # admit every ready action a slot allows, in schedule order
         still_blocked: List[int] = []
         candidates = sorted(blocked + [heapq.heappop(ready) for _ in range(len(ready))])
+        if h_queue is not None:
+            h_queue.observe(len(candidates))
         for pos in candidates:
             if not try_start(pos):
                 still_blocked.append(pos)
         blocked = still_blocked
+        if h_flight is not None:
+            h_flight.observe(len(running))
 
         if not running:
             raise ConfigurationError(

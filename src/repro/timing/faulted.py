@@ -34,6 +34,7 @@ from repro.model.actions import Action, Delete, Transfer
 from repro.model.instance import RtspInstance
 from repro.model.schedule import Schedule
 from repro.model.state import SystemState
+from repro.obs.context import current_metrics
 from repro.timing.bandwidth import transfer_duration
 from repro.timing.dag import build_dependency_dag
 from repro.util.errors import ConfigurationError
@@ -148,6 +149,16 @@ def simulate_with_faults(
     """
     if out_slots < 1 or in_slots < 1:
         raise ConfigurationError("slot counts must be >= 1")
+    registry = current_metrics()
+    if registry is None:
+        c_started = c_aborted = c_failed = c_lost = h_queue = h_flight = None
+    else:
+        c_started = registry.counter("executor.transfers_started")
+        c_aborted = registry.counter("executor.aborted_transfers")
+        c_failed = registry.counter("executor.failed_transfers")
+        c_lost = registry.counter("executor.crash_losses")
+        h_queue = registry.histogram("executor.queue_depth")
+        h_flight = registry.histogram("executor.in_flight")
     actions = schedule.actions()
     n = len(actions)
     dag = build_dependency_dag(actions, instance)
@@ -193,6 +204,8 @@ def simulate_with_faults(
             trace.append(
                 FaultedAction(payload, action, start, halt, STATUS_ABORTED)
             )
+            if c_aborted is not None:
+                c_aborted.value += 1
             if isinstance(action, Transfer) and finish > start:
                 wasted += action_cost(action) * (halt - start) / (finish - start)
         return wasted
@@ -215,6 +228,8 @@ def simulate_with_faults(
             factor = _slowdown_factor(slowdowns, i, j, now)
             if factor != 1.0:
                 duration *= factor
+            if c_started is not None:
+                c_started.value += 1
             attempt = attempt_offset + attempts
             attempts += 1
             if attempt in fail_attempts:
@@ -232,10 +247,14 @@ def simulate_with_faults(
         # admit every ready action a slot allows, in schedule order
         still_blocked: List[int] = []
         candidates = sorted(blocked + [heapq.heappop(ready) for _ in range(len(ready))])
+        if h_queue is not None:
+            h_queue.observe(len(candidates))
         for pos in candidates:
             if not try_start(pos):
                 still_blocked.append(pos)
         blocked = still_blocked
+        if h_flight is not None:
+            h_flight.observe(len(running))
 
         if not running:
             raise ConfigurationError(
@@ -249,6 +268,8 @@ def simulate_with_faults(
             wasted_cost += abort_running(now)
             for delete in state.crash_server(server):
                 trace.append(FaultedAction(-1, delete, now, now, STATUS_LOST))
+                if c_lost is not None:
+                    c_lost.value += 1
             return FaultedResult(
                 trace=tuple(trace),
                 stop_time=now,
@@ -272,6 +293,8 @@ def simulate_with_faults(
                 trace.append(
                     FaultedAction(pos, action, starts[pos], now, STATUS_FAILED)
                 )
+                if c_failed is not None:
+                    c_failed.value += 1
                 wasted_cost += action_cost(action)
                 wasted_cost += abort_running(now)
                 return FaultedResult(

@@ -15,6 +15,7 @@ from repro.analysis.feasibility import analyze_feasibility
 from repro.analysis.metrics import schedule_stats
 from repro.core.pipeline import build_pipeline
 from repro.io import load_instance, load_schedule, save_schedule
+from repro.obs import load_trace, render_summary, summarize_spans, validate_trace_file
 from repro.timing import bandwidths_from_costs, simulate_parallel
 from repro.util.errors import RtspError
 
@@ -49,6 +50,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--schedule", required=True)
     p.add_argument("--slots", type=int, default=1,
                    help="concurrent in/out transfers per server")
+
+    p = sub.add_parser(
+        "trace-summary",
+        help="summarise an rtsp-trace/1 file (from --trace) on the terminal",
+    )
+    p.add_argument("trace", help="rtsp-trace/1 JSONL file")
+    p.add_argument(
+        "--top", type=int, default=15,
+        help="number of span rows to show (default 15)",
+    )
     return parser
 
 
@@ -119,6 +130,18 @@ def _cmd_makespan(args) -> int:
     return 0
 
 
+def _cmd_trace_summary(args) -> int:
+    problems = validate_trace_file(args.trace)
+    if problems:
+        print(f"INVALID trace {args.trace}:", file=sys.stderr)
+        for problem in problems[:10]:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    header, spans = load_trace(args.trace)
+    print(render_summary(summarize_spans(header, spans), top=args.top))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -127,6 +150,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "validate": _cmd_validate,
         "analyze": _cmd_analyze,
         "makespan": _cmd_makespan,
+        "trace-summary": _cmd_trace_summary,
     }
     try:
         return handlers[args.command](args)

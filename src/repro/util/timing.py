@@ -1,86 +1,33 @@
-"""Lightweight timing helpers used by the experiment harness.
+"""Deprecated timing shim — use :mod:`repro.obs.profile` instead.
 
-Per the optimisation-workflow guidance ("no optimisation without
-measuring"), the harness records wall-clock durations per pipeline stage.
-These helpers keep that bookkeeping out of the algorithm code.
+:class:`Stopwatch` used to live here; it is now a thin subclass of
+:class:`repro.obs.profile.StageProfiler` that emits a
+``DeprecationWarning`` on construction. :func:`timed` is re-exported
+unchanged. Existing imports (``from repro.util.timing import Stopwatch,
+timed``) keep working; new code should import from ``repro.obs``.
 """
 
 from __future__ import annotations
 
-import functools
-import time
-from typing import Callable, Dict, Optional, TypeVar
+import warnings
 
-F = TypeVar("F", bound=Callable)
+from repro.obs.profile import StageProfiler, timed
+
+__all__ = ["Stopwatch", "timed"]
 
 
-class Stopwatch:
-    """Accumulating stopwatch with named laps.
+class Stopwatch(StageProfiler):
+    """Deprecated alias of :class:`repro.obs.profile.StageProfiler`.
 
-    >>> sw = Stopwatch()
-    >>> with sw.lap("build"):
-    ...     pass
-    >>> "build" in sw.laps
-    True
+    Keeps the historical API (``lap`` as the context-manager name) via the
+    ``lap = stage`` alias StageProfiler already provides.
     """
 
     def __init__(self) -> None:
-        self.laps: Dict[str, float] = {}
-
-    def lap(self, name: str) -> "_Lap":
-        """Return a context manager that accumulates elapsed time under ``name``."""
-        return _Lap(self, name)
-
-    def add(self, name: str, seconds: float) -> None:
-        """Add ``seconds`` to lap ``name`` (creating it if needed)."""
-        self.laps[name] = self.laps.get(name, 0.0) + float(seconds)
-
-    @property
-    def total(self) -> float:
-        """Sum of all recorded laps, in seconds."""
-        return sum(self.laps.values())
-
-    def report(self) -> str:
-        """Render laps as aligned ``name: seconds`` lines, longest first."""
-        if not self.laps:
-            return "(no laps recorded)"
-        width = max(len(k) for k in self.laps)
-        rows = sorted(self.laps.items(), key=lambda kv: -kv[1])
-        return "\n".join(f"{k.ljust(width)} : {v:10.4f}s" for k, v in rows)
-
-
-class _Lap:
-    def __init__(self, watch: Stopwatch, name: str) -> None:
-        self._watch = watch
-        self._name = name
-        self._start: Optional[float] = None
-
-    def __enter__(self) -> "_Lap":
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc) -> None:
-        assert self._start is not None
-        self._watch.add(self._name, time.perf_counter() - self._start)
-
-
-def timed(watch: Stopwatch, name: Optional[str] = None) -> Callable[[F], F]:
-    """Decorator recording each call's duration into ``watch``.
-
-    The lap name defaults to the wrapped function's ``__name__``.
-    """
-
-    def decorate(fn: F) -> F:
-        lap_name = name or fn.__name__
-
-        @functools.wraps(fn)
-        def wrapper(*args, **kwargs):
-            start = time.perf_counter()
-            try:
-                return fn(*args, **kwargs)
-            finally:
-                watch.add(lap_name, time.perf_counter() - start)
-
-        return wrapper  # type: ignore[return-value]
-
-    return decorate
+        warnings.warn(
+            "repro.util.timing.Stopwatch is deprecated; use "
+            "repro.obs.profile.StageProfiler (or repro.obs.StageProfiler)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__()

@@ -111,3 +111,37 @@ class TestCli:
               "--seed", "2"])
         out2 = capsys.readouterr().out
         assert out1 != out2
+
+
+class TestObservabilityFlags:
+    def test_trace_metrics_profile_artifacts(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_trace_file
+
+        trace = tmp_path / "trace.jsonl"
+        chrome = tmp_path / "chrome.json"
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            ["--figure", "4", "--scale", "small", "--reps", "1", "--quiet",
+             "--trace", str(trace), "--chrome-trace", str(chrome),
+             "--metrics-json", str(metrics), "--profile"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"wrote {trace}" in out
+        assert "function calls" in out  # --profile output
+        assert validate_trace_file(str(trace)) == []
+        chrome_data = json.loads(chrome.read_text())
+        assert chrome_data["traceEvents"]
+        snap = json.loads(metrics.read_text())
+        assert snap["format"] == "rtsp-metrics/1"
+        assert snap["counters"]["builder.candidates_scanned"] > 0
+        assert snap["counters"]["nearest_index.cache_misses"] > 0
+        assert snap["histograms"]["executor.queue_depth"]["count"] > 0
+
+    def test_parser_obs_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.trace is None
+        assert args.metrics_json is None
+        assert not args.profile

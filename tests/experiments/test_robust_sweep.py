@@ -144,3 +144,26 @@ class TestCli:
         with pytest.raises(ConfigurationError, match="fault-rate"):
             main(["--figure", "robust", "--scale", "small", "--reps", "1",
                   "--quiet", "--fault-rate", "lots"])
+
+
+class TestRepairCounters:
+    def test_replans_and_backoff_in_cells(self, result):
+        zero = result.cell(0.0, "GSDF")
+        assert zero.replans == 0.0
+        assert zero.backoff_total == 0.0
+        faulty = result.cell(0.1, "GSDF")
+        assert faulty.replans >= 0.0
+        assert faulty.replans == pytest.approx(faulty.repair_rounds)
+
+    def test_new_columns_rendered(self, result):
+        table = render_robust_table(result)
+        assert "replans" in table and "backoff" in table
+        csv = render_robust_csv(result)
+        assert "replans,backoff_total" in csv.splitlines()[0]
+
+    def test_to_dict_carries_new_fields(self, result):
+        data = result.to_dict()
+        for cell in data["cells"]:
+            assert "replans" in cell and "backoff_total" in cell
+            for rep in cell["repetitions"]:
+                assert "replans" in rep and "backoff_total" in rep

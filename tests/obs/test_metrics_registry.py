@@ -1,0 +1,128 @@
+"""Tests for the metrics registry and snapshot merging."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    METRICS_FORMAT,
+    Histogram,
+    MetricsRegistry,
+    bucket_upper_bound,
+)
+
+
+class TestInstruments:
+    def test_counter_inc_and_direct_bump(self):
+        r = MetricsRegistry()
+        c = r.counter("c")
+        c.inc()
+        c.inc(4)
+        c.value += 1
+        assert r.counter("c").value == 6
+        assert r.counter("c") is c  # stable identity for hot-path caching
+
+    def test_gauge_set(self):
+        g = MetricsRegistry().gauge("g")
+        g.set(3.0)
+        g.set(1.5)
+        assert g.value == 1.5
+        assert g.updates == 2
+
+    def test_histogram_stats(self):
+        h = Histogram("h")
+        for v in (1, 2, 4, 100):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 107
+        assert h.vmin == 1
+        assert h.vmax == 100
+        assert h.mean == pytest.approx(107 / 4)
+
+    def test_histogram_power_of_two_buckets(self):
+        h = Histogram("h")
+        h.observe(0)      # bucket 0
+        h.observe(1)      # bucket 0 (<= 2**0)
+        h.observe(2)      # bucket 1 (exact power -> lower bucket)
+        h.observe(3)      # bucket 2
+        h.observe(4)      # bucket 2
+        h.observe(5)      # bucket 3
+        assert h.buckets[0] == 2
+        assert h.buckets[1] == 1
+        assert h.buckets[2] == 2
+        assert h.buckets[3] == 1
+
+    def test_bucket_upper_bound(self):
+        assert bucket_upper_bound(0) == 1.0
+        assert bucket_upper_bound(3) == 8.0
+
+    def test_registry_iteration(self):
+        r = MetricsRegistry()
+        r.counter("a")
+        r.gauge("b")
+        r.histogram("c")
+        assert sorted(r) == ["a", "b", "c"]
+        assert len(r) == 3
+
+
+class TestSnapshotMerge:
+    def _filled(self, scale=1):
+        r = MetricsRegistry()
+        r.counter("c").inc(3 * scale)
+        r.gauge("g").set(2.0 * scale)
+        for v in range(scale, scale + 3):
+            r.histogram("h").observe(v)
+        return r
+
+    def test_snapshot_format(self):
+        snap = self._filled().snapshot()
+        assert snap["format"] == METRICS_FORMAT
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"]["g"] == {"value": 2.0, "updates": 1}
+        assert snap["histograms"]["h"]["count"] == 3
+
+    def test_merge_equals_serial(self):
+        # Two fragments merged must equal one registry that saw everything.
+        serial = MetricsRegistry()
+        merged = MetricsRegistry()
+        for scale in (1, 5):
+            frag = self._filled(scale)
+            merged.merge(frag.snapshot())
+            serial.counter("c").inc(3 * scale)
+            serial.gauge("g").set(2.0 * scale)
+            for v in range(scale, scale + 3):
+                serial.histogram("h").observe(v)
+        a, b = merged.snapshot(), serial.snapshot()
+        assert a["counters"] == b["counters"]
+        assert a["histograms"] == b["histograms"]
+        # Gauges merge to the max value seen, order-independently.
+        assert a["gauges"]["g"]["value"] == 10.0
+        assert a["gauges"]["g"]["updates"] == 2
+
+    def test_merge_is_order_independent_for_counters(self):
+        snaps = [self._filled(s).snapshot() for s in (1, 2, 3)]
+        fwd, rev = MetricsRegistry(), MetricsRegistry()
+        for s in snaps:
+            fwd.merge(s)
+        for s in reversed(snaps):
+            rev.merge(s)
+        assert fwd.snapshot() == rev.snapshot()
+
+    def test_merge_empty_histogram_keeps_bounds(self):
+        r = MetricsRegistry()
+        empty = MetricsRegistry()
+        empty.histogram("h")
+        r.merge(empty.snapshot())
+        assert r.histogram("h").count == 0
+        assert r.snapshot()["histograms"]["h"]["min"] is None
+
+    def test_merge_rejects_wrong_format(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().merge({"format": "bogus/1"})
+
+    def test_write_json(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        self._filled().write_json(str(path))
+        data = json.loads(path.read_text())
+        assert data["format"] == METRICS_FORMAT
+        assert data["counters"] == {"c": 3}

@@ -1,0 +1,86 @@
+"""Property tests: observability is deterministic and non-perturbing.
+
+Two halves of the observability contract, asserted over random
+instances:
+
+* the **logical** trace stream (span names / ids / seq numbers /
+  attributes, wall clocks excluded) is byte-identical across repeated
+  runs of the same seeded pipeline — the tracer adds no nondeterminism
+  of its own;
+* running under :class:`~repro.obs.trace.NullTracer` (or under live
+  instruments) leaves the produced schedule byte-identical to an
+  unobserved run — instrumentation never changes algorithmic behavior.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import build_pipeline
+from repro.obs import MetricsRegistry, NULL_TRACER, Tracer, observed, use_tracer
+from tests.properties.test_schedule_properties import (
+    BUILDERS,
+    COMMON,
+    instances,
+)
+
+PIPELINES = BUILDERS + ["GOLCF+H1+H2+OP1"]
+
+
+def _actions(schedule):
+    return [repr(a) for a in schedule.actions()]
+
+
+def _traced_run(name, instance, seed):
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    with observed(tracer=tracer, metrics=registry):
+        schedule, stats = build_pipeline(name).run_with_stats(
+            instance, rng=seed
+        )
+    return schedule, stats, tracer, registry
+
+
+@settings(**COMMON)
+@given(instances(), st.sampled_from(PIPELINES), st.integers(0, 2**32 - 1))
+def test_logical_stream_identical_across_runs(instance, name, seed):
+    _, _, t1, r1 = _traced_run(name, instance, seed)
+    _, _, t2, r2 = _traced_run(name, instance, seed)
+    assert t1.logical_lines() == t2.logical_lines()
+    assert r1.counter_values() == r2.counter_values()
+
+
+@settings(**COMMON)
+@given(instances(), st.sampled_from(PIPELINES), st.integers(0, 2**32 - 1))
+def test_null_tracer_schedule_identical(instance, name, seed):
+    plain = build_pipeline(name).run(instance, rng=seed)
+    with use_tracer(NULL_TRACER):
+        nulled = build_pipeline(name).run(instance, rng=seed)
+    assert _actions(plain) == _actions(nulled)
+
+
+@settings(**COMMON)
+@given(instances(), st.sampled_from(PIPELINES), st.integers(0, 2**32 - 1))
+def test_live_instruments_schedule_identical(instance, name, seed):
+    plain = build_pipeline(name).run(instance, rng=seed)
+    observed_schedule, stats, _, registry = _traced_run(name, instance, seed)
+    assert _actions(plain) == _actions(observed_schedule)
+    # Per-stage counter deltas must sum to the registry totals.
+    totals = registry.counter_values()
+    for counter in totals:
+        assert (
+            sum(s.counters.get(counter, 0) for s in stats) == totals[counter]
+        )
+
+
+@settings(**COMMON)
+@given(instances(), st.sampled_from(BUILDERS), st.integers(0, 2**32 - 1))
+def test_span_tree_well_formed(instance, name, seed):
+    _, _, tracer, _ = _traced_run(name, instance, seed)
+    ids = {s.span_id for s in tracer.spans}
+    assert len(ids) == len(tracer.spans)
+    seqs = sorted(
+        x for s in tracer.spans for x in (s.seq_start, s.seq_end)
+    )
+    assert seqs == list(range(len(seqs)))  # every seq used exactly once
+    for span in tracer.spans:
+        assert span.parent_id is None or span.parent_id in ids

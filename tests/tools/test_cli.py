@@ -126,3 +126,39 @@ class TestMakespanCommand:
             ["makespan", "--instance", instance_file, "--schedule", str(sched_path)]
         )
         assert code in (1, 2)
+
+
+class TestTraceSummaryCommand:
+    def _trace_file(self, tmp_path):
+        from repro.obs import Tracer
+
+        tracer = Tracer(meta={"figure": "4"})
+        with tracer.span("repetition", x=1):
+            with tracer.span("cell", pipeline="GOLCF"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(str(path))
+        return str(path)
+
+    def test_renders_summary(self, tmp_path, capsys):
+        path = self._trace_file(tmp_path)
+        assert main(["trace-summary", path]) == 0
+        out = capsys.readouterr().out
+        assert "rtsp-trace/1" in out
+        assert "repetition" in out and "cell" in out
+
+    def test_top_limits_rows(self, tmp_path, capsys):
+        path = self._trace_file(tmp_path)
+        assert main(["trace-summary", path, "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "cell" in out or "repetition" in out
+
+    def test_rejects_invalid_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format": "nope"}\n')
+        assert main(["trace-summary", str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_missing_file_is_error(self, tmp_path, capsys):
+        assert main(["trace-summary", str(tmp_path / "none.jsonl")]) == 2
+        assert "error" in capsys.readouterr().err
