@@ -1,0 +1,83 @@
+"""Diff two benchmark-JSON files (benchmarks/conftest.py format).
+
+Used by CI's perf-smoke job to compare the fresh run against the
+committed baseline in ``benchmarks/results/`` and append a per-builder
+markdown table to the run summary::
+
+    python benchmarks/diff_results.py \
+        --baseline benchmarks/results/perf_builders_small.json \
+        --current benchmarks/results/perf_smoke.json >> "$GITHUB_STEP_SUMMARY"
+
+The exit code only signals *missing/corrupt files* (2) or an empty
+benchmark overlap (3) — never a slowdown. Hosted-runner timing is too
+noisy to gate on; the table is telemetry, the deltas are for humans
+reading the run summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict
+
+
+def load_means(path: pathlib.Path) -> Dict[str, float]:
+    """Map benchmark name -> mean seconds from one results file."""
+    payload = json.loads(path.read_text())
+    return {
+        bench["name"]: float(bench["stats"]["mean"])
+        for bench in payload.get("benchmarks", [])
+    }
+
+
+def format_table(base: Dict[str, float], cur: Dict[str, float]) -> str:
+    """Markdown table of per-benchmark mean deltas (shared names only)."""
+    shared = sorted(set(base) & set(cur))
+    lines = [
+        "### Perf smoke vs committed baseline",
+        "",
+        "| benchmark | baseline mean | current mean | delta |",
+        "|---|---:|---:|---:|",
+    ]
+    for name in shared:
+        b, c = base[name], cur[name]
+        delta = (c - b) / b if b > 0 else float("inf")
+        arrow = "🔺" if delta > 0.10 else ("🔻" if delta < -0.10 else "≈")
+        lines.append(
+            f"| {name} | {b * 1e3:.3f} ms | {c * 1e3:.3f} ms "
+            f"| {arrow} {delta:+.1%} |"
+        )
+    for name in sorted(set(cur) - set(base)):
+        lines.append(f"| {name} | — | {cur[name] * 1e3:.3f} ms | new |")
+    for name in sorted(set(base) - set(cur)):
+        lines.append(f"| {name} | {base[name] * 1e3:.3f} ms | — | missing |")
+    lines.append("")
+    lines.append(
+        "_Deltas are means on a shared hosted runner; >±10% is flagged, "
+        "nothing is gated._"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, type=pathlib.Path)
+    parser.add_argument("--current", required=True, type=pathlib.Path)
+    args = parser.parse_args(argv)
+    try:
+        base = load_means(args.baseline)
+        cur = load_means(args.current)
+    except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
+        print(f"diff_results: cannot load inputs: {exc}", file=sys.stderr)
+        return 2
+    if not set(base) & set(cur):
+        print("diff_results: no overlapping benchmarks", file=sys.stderr)
+        return 3
+    print(format_table(base, cur))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

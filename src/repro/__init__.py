@@ -27,6 +27,8 @@ Package map
 * :mod:`repro.npc` — the Knapsack→RTSP reduction of §3.4
 * :mod:`repro.experiments` — the figure-reproduction harness
 * :mod:`repro.robust` — fault injection and online schedule repair
+* :mod:`repro.exact` — proved-optimal solving, the strict invariant
+  oracle, and the golden differential corpus
 """
 
 from repro.model import (
@@ -69,6 +71,16 @@ from repro.network import (
     extend_with_dummy,
 )
 from repro.workloads import paper_instance, regular_placement_pair
+from repro.exact import (
+    BEST_FOUND,
+    PROVED_OPTIMAL,
+    BranchAndBoundSolver,
+    SolveResult,
+    SolverBudget,
+    assert_invariants,
+    check_invariants,
+    solve_optimal,
+)
 from repro.robust import (
     FaultPlan,
     RepairEngine,
@@ -128,6 +140,15 @@ __all__ = [
     # workloads
     "paper_instance",
     "regular_placement_pair",
+    # exact
+    "BEST_FOUND",
+    "PROVED_OPTIMAL",
+    "BranchAndBoundSolver",
+    "SolveResult",
+    "SolverBudget",
+    "assert_invariants",
+    "check_invariants",
+    "solve_optimal",
     # robust
     "FaultPlan",
     "RepairEngine",

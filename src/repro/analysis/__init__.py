@@ -25,6 +25,8 @@ from repro.analysis.feasibility import (
 from repro.analysis.bounds import (
     universal_lower_bound,
     nearest_source_bound,
+    residual_lower_bound,
+    triangle_inequality_holds,
     worst_case_upper_bound,
 )
 from repro.analysis.metrics import (
@@ -50,6 +52,8 @@ __all__ = [
     "is_trivially_sequenceable",
     "universal_lower_bound",
     "nearest_source_bound",
+    "residual_lower_bound",
+    "triangle_inequality_holds",
     "worst_case_upper_bound",
     "RepairStats",
     "repair_stats",

@@ -36,12 +36,12 @@ def nearest_source_bound(instance: RtspInstance) -> float:
     Sources are restricted to servers that hold the object in ``X_old`` or
     will hold it in ``X_new`` (plus the dummy). This is the exact optimum
     for instances where no intermediate staging helps; schedules that stage
-    replicas on third-party servers (H2-style) can in rare cases beat it,
-    so treat it as an estimate, not a certified bound. It is, however, a
-    certified lower bound for the common case where ``l`` obeys the
-    triangle inequality (shortest-path matrices always do): relaying an
-    object through a third server can then never be cheaper than the direct
-    cheapest plausible source.
+    replicas on third-party servers (H2-style) can beat it, so treat it as
+    an estimate, not a certified bound — even on triangle-closed matrices:
+    when one staging relay serves several outstanding replicas, the relay's
+    feed-in hop is shared, while this estimate charges each replica its
+    full plausible-source distance (use :func:`residual_lower_bound` or
+    :func:`universal_lower_bound` when admissibility matters).
     """
     total = 0.0
     outstanding = instance.outstanding()
@@ -67,6 +67,53 @@ def worst_case_upper_bound(instance: RtspInstance) -> float:
     new_replicas = instance.x_new.astype(np.float64)
     per_object_units = new_replicas.sum(axis=0) * instance.sizes
     return float(per_object_units.sum() * dummy_cost)
+
+
+def triangle_inequality_holds(costs: np.ndarray, eps: float = 1e-9) -> bool:
+    """Whether ``l_ij <= l_iw + l_wj`` for every triple of servers.
+
+    Shortest-path cost matrices (everything :mod:`repro.network` builds)
+    always satisfy this; hand-crafted matrices may not. The exact solver
+    uses the answer to pick between the tight nearest-holder bound and
+    the always-admissible static bound.
+    """
+    c = np.asarray(costs, dtype=np.float64)
+    # min over w of c[i, w] + c[w, j] equals the one-step Floyd-Warshall
+    # relaxation; the matrix is triangle-closed iff relaxing changes nothing.
+    relaxed = np.min(c[:, :, None] + c[None, :, :], axis=1)
+    return bool(np.all(c <= relaxed + eps))
+
+
+def residual_lower_bound(
+    instance: RtspInstance, placement: np.ndarray
+) -> float:
+    """Admissible lower bound on the remaining cost from ``placement``.
+
+    Generalises :func:`universal_lower_bound` to an arbitrary mid-flight
+    replication matrix: every replica still missing w.r.t. ``X_new``
+    needs one final transfer onto its target from *some* server, so it
+    costs at least ``s(O_k) * min_{j != i} l_ij``. Restricting the
+    source candidates any further (say, to current holders) is **not**
+    admissible once relaying through staging servers is allowed — two
+    missing replicas may share one delivery chain, so per-replica
+    nearest-holder distances double-count the shared hops.
+
+    This is the bound :class:`repro.exact.BranchAndBoundSolver` charges
+    at every search node, exposed here so tests can cross-check the
+    solver's pruning against an independent implementation.
+    """
+    placement = np.asarray(placement)
+    m, n = instance.num_servers, instance.num_objects
+    if placement.shape != (m, n):
+        raise ValueError(f"placement must be {m}x{n}, got {placement.shape}")
+    costs, sizes = instance.costs, instance.sizes
+    total = 0.0
+    missing = (instance.x_new == 1) & (placement == 0)
+    for i, k in zip(*np.nonzero(missing)):
+        row = costs[i, : m + 1].copy()
+        row[i] = np.inf
+        total += float(sizes[k]) * float(row.min())
+    return total
 
 
 def optimality_gap(instance: RtspInstance, achieved_cost: float) -> float:

@@ -22,7 +22,7 @@ from repro.model.instance import RtspInstance
 from repro.model.schedule import Schedule
 from repro.model.state import SystemState
 from repro.obs.context import current_metrics
-from repro.util.errors import ConfigurationError
+from repro.util.errors import ConfigurationError, InvalidScheduleError
 from repro.util.rng import ensure_rng
 
 
@@ -35,6 +35,21 @@ class ScheduleBuilder(abc.ABC):
     @abc.abstractmethod
     def build(self, instance: RtspInstance, rng=None) -> Schedule:
         """Return a schedule valid w.r.t. ``(X_old, X_new)``."""
+
+    def build_checked(
+        self, instance: RtspInstance, rng=None, validate="strict"
+    ) -> Schedule:
+        """:meth:`build`, then validate the result before returning it.
+
+        ``validate`` accepts the same specs as
+        :func:`repro.exact.validate.resolve_validator` (default: the
+        strict independent invariant oracle). Raises
+        :class:`~repro.util.errors.InvalidScheduleError` naming this
+        builder when the schedule is rejected.
+        """
+        schedule = self.build(instance, rng=rng)
+        _run_validator(validate, instance, schedule, self.name)
+        return schedule
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{type(self).__name__}()"
@@ -54,8 +69,40 @@ class ScheduleOptimizer(abc.ABC):
         Implementations never mutate the input schedule.
         """
 
+    def optimize_checked(
+        self,
+        instance: RtspInstance,
+        schedule: Schedule,
+        rng=None,
+        validate="strict",
+    ) -> Schedule:
+        """:meth:`optimize`, then validate the rewritten schedule.
+
+        Same contract as :meth:`ScheduleBuilder.build_checked`.
+        """
+        optimized = self.optimize(instance, schedule, rng=rng)
+        _run_validator(validate, instance, optimized, self.name)
+        return optimized
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{type(self).__name__}()"
+
+
+def _run_validator(spec, instance: RtspInstance, schedule: Schedule, stage: str):
+    """Resolve ``spec`` and apply it, prefixing failures with ``stage``."""
+    # Lazy import: repro.exact imports repro.core at module level, so the
+    # dependency may only run in this direction at call time.
+    from repro.exact.validate import resolve_validator
+
+    validator = resolve_validator(spec)
+    if validator is None:
+        return
+    try:
+        validator(instance, schedule)
+    except InvalidScheduleError as exc:
+        raise InvalidScheduleError(
+            f"{stage}: {exc}", position=exc.position
+        ) from exc
 
 
 # ----------------------------------------------------------------------

@@ -21,7 +21,7 @@ from repro.model.residual import residual_instance
 from repro.model.schedule import Schedule
 from repro.obs.context import current_metrics, current_tracer
 from repro.obs.profile import StageProfiler
-from repro.util.errors import ConfigurationError
+from repro.util.errors import ConfigurationError, InvalidScheduleError
 from repro.util.rng import ensure_rng
 
 
@@ -43,19 +43,33 @@ class StageResult:
 
 
 class Pipeline:
-    """A builder followed by optimizers, applied left to right."""
+    """A builder followed by optimizers, applied left to right.
+
+    ``validate`` installs a per-stage check on every schedule the
+    pipeline produces: ``"basic"``/``True`` replays through the model
+    layer, ``"strict"`` runs the independent invariant oracle from
+    :mod:`repro.exact.validate`, and a callable ``(instance, schedule)``
+    is used as-is. Validation failures raise
+    :class:`~repro.util.errors.InvalidScheduleError` naming the stage.
+    """
 
     def __init__(
         self,
         builder: ScheduleBuilder,
         optimizers: Sequence[ScheduleOptimizer] = (),
         name: Optional[str] = None,
+        validate=None,
     ) -> None:
         self.builder = builder
         self.optimizers = list(optimizers)
         self.name = name or "+".join(
             [builder.name] + [o.name for o in self.optimizers]
         )
+        # Lazy import: repro.exact depends on repro.core at module level,
+        # so core must only reach back into it at call time.
+        from repro.exact.validate import resolve_validator
+
+        self.validator = resolve_validator(validate)
 
     def run(self, instance: RtspInstance, rng=None) -> Schedule:
         """Build and optimize; returns the final schedule."""
@@ -96,6 +110,7 @@ class Pipeline:
                             schedule = stage.optimize(
                                 instance, schedule, rng=gen
                             )
+                    self._check(instance, schedule, stage.name)
                     result = self._stage_result(
                         stage.name, schedule, instance, watch, registry, before
                     )
@@ -118,6 +133,19 @@ class Pipeline:
         :class:`repro.robust.RepairEngine` after every detected failure.
         """
         return self.run(residual_instance(instance, placement), rng=rng)
+
+    def _check(
+        self, instance: RtspInstance, schedule: Schedule, stage: str
+    ) -> None:
+        if self.validator is None:
+            return
+        try:
+            self.validator(instance, schedule)
+        except InvalidScheduleError as exc:
+            raise InvalidScheduleError(
+                f"pipeline {self.name!r}, stage {stage!r}: {exc}",
+                position=exc.position,
+            ) from exc
 
     @staticmethod
     def _stage_result(
@@ -151,18 +179,20 @@ class Pipeline:
         return f"Pipeline({self.name!r})"
 
 
-def build_pipeline(spec: str) -> Pipeline:
+def build_pipeline(spec: str, validate=None) -> Pipeline:
     """Parse a ``BUILDER+OPT1+OPT2`` spec into a :class:`Pipeline`.
 
     The first component must name a registered builder, the remaining
     components registered optimizers, e.g. ``"GOLCF+H1+H2+OP1"``.
+    ``validate`` is forwarded to :class:`Pipeline` (``"basic"``,
+    ``"strict"``, or a callable) to check every stage's output.
     """
     parts = [part.strip() for part in spec.split("+") if part.strip()]
     if not parts:
         raise ConfigurationError("empty pipeline spec")
     builder = get_builder(parts[0])
     optimizers = [get_optimizer(p) for p in parts[1:]]
-    return Pipeline(builder, optimizers, name="+".join(parts))
+    return Pipeline(builder, optimizers, name="+".join(parts), validate=validate)
 
 
 #: The pipeline line-up used across the paper's figures.

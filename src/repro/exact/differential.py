@@ -1,0 +1,434 @@
+"""Differential verification: heuristics vs the exact solver.
+
+This module closes the loop the rest of the repository cannot: it
+measures *true* optimality gaps. A seeded generator produces families of
+tiny instances (small enough that :class:`~repro.exact.solver.
+BranchAndBoundSolver` proves the optimum within its default node
+budget), every heuristic pipeline runs over them across several seeds,
+each schedule passes the strict invariant checker
+(:func:`repro.exact.validate.check_invariants`), and the recorded gaps
+form a **golden corpus** under ``tests/golden/exact/`` that CI diffs
+byte-for-byte (the ``exact-differential`` job is a blocking gate: any
+silent cost regression, invalid schedule, or lost optimality proof
+fails the build).
+
+Everything here is deterministic: instance generation derives per-cell
+seeds with :func:`repro.util.rng.derive_seed`, heuristics take explicit
+integer seeds, the solver uses a node (never time) budget, and the JSON
+is dumped canonically (sorted keys, fixed indentation, ``repr``-exact
+floats). Regenerate after an intentional behaviour change with::
+
+    python -m repro.tools golden --update
+
+and review the diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.pipeline import build_pipeline
+from repro.exact.solver import (
+    PROVED_OPTIMAL,
+    BranchAndBoundSolver,
+    SolverBudget,
+)
+from repro.exact.validate import check_invariants
+from repro.io.json_format import instance_from_dict, instance_to_dict
+from repro.model.instance import RtspInstance
+from repro.npc.knapsack import KnapsackInstance
+from repro.npc.reduction import reduce_knapsack_to_rtsp
+from repro.util.errors import ConfigurationError
+from repro.util.rng import derive_seed, ensure_rng
+
+__all__ = [
+    "GOLDEN_FORMAT",
+    "DEFAULT_FAMILIES",
+    "DEFAULT_PIPELINES",
+    "DEFAULT_SEEDS",
+    "DEFAULT_GOLDEN_DIR",
+    "family_instances",
+    "differential_payload",
+    "gap_summary",
+    "check_corpus",
+    "update_corpus",
+]
+
+#: Version tag of the golden-corpus JSON layout.
+GOLDEN_FORMAT = "rtsp-golden-exact/1"
+
+#: Instance families the corpus covers (one JSON file each).
+DEFAULT_FAMILIES: Tuple[str, ...] = ("loose", "tight", "ring", "knapsack")
+
+#: Pipelines whose gaps the corpus records: the four builders plus the
+#: paper's winning combination.
+DEFAULT_PIPELINES: Tuple[str, ...] = (
+    "RDF",
+    "GSDF",
+    "AR",
+    "GOLCF",
+    "GOLCF+H1+H2+OP1",
+)
+
+#: Heuristic RNG seeds recorded per pipeline.
+DEFAULT_SEEDS: Tuple[int, ...] = (0, 1, 2)
+
+#: Instances generated per family.
+DEFAULT_COUNT = 4
+
+#: Corpus location, relative to the repository root (where CI runs).
+DEFAULT_GOLDEN_DIR = pathlib.Path("tests") / "golden" / "exact"
+
+#: Master seed mixed into every family generator (the paper's year).
+_MASTER_SEED = 2007
+
+
+# ----------------------------------------------------------------------
+# instance families
+# ----------------------------------------------------------------------
+def _closed_costs(m: int, gen: np.random.Generator) -> np.ndarray:
+    """Random symmetric integer link costs, Floyd-Warshall closed."""
+    raw = gen.integers(1, 10, size=(m, m)).astype(np.float64)
+    costs = np.minimum(raw, raw.T)
+    np.fill_diagonal(costs, 0.0)
+    for w in range(m):
+        np.minimum(costs, costs[:, w, None] + costs[None, w, :], out=costs)
+    return costs
+
+
+def _random_placements(
+    m: int, n: int, moves: int, gen: np.random.Generator
+) -> Tuple[np.ndarray, np.ndarray]:
+    """A random ``X_old`` and a ``moves``-relocation reshuffle of it.
+
+    Bounding the old/new difference (instead of drawing independent
+    placements) keeps the outstanding-replica count — the driver of the
+    exact search space — small enough that the default node budget
+    proves every optimum, while still reaching the full 6x8 shape.
+    """
+    x_old = np.zeros((m, n), dtype=np.int8)
+    for k in range(n):
+        replicas = int(gen.integers(1, 3))
+        for i in gen.choice(m, size=min(replicas, m), replace=False):
+            x_old[i, k] = 1
+    x_new = x_old.copy()
+    for _ in range(moves):
+        movable = list(zip(*np.nonzero(x_new)))
+        src_i, k = movable[int(gen.integers(len(movable)))]
+        free = np.flatnonzero(x_new[:, k] == 0)
+        if free.size == 0:
+            continue
+        dst = int(free[int(gen.integers(free.size))])
+        x_new[src_i, k] = 0
+        x_new[dst, k] = 1
+    return x_old, x_new
+
+
+def _placement_instance(
+    idx: int, gen: np.random.Generator, slack: float
+) -> RtspInstance:
+    m = 3 + idx % 4  # 3..6 servers
+    n = 4 + (3 * idx) % 5  # 4..8 objects; idx 3 is the 6x8 flagship
+    moves = 4 + idx % 4  # 4..7 replica relocations
+    sizes = gen.integers(1, 5, size=n).astype(np.float64)
+    x_old, x_new = _random_placements(m, n, moves, gen)
+    loads_old = x_old.astype(np.float64) @ sizes
+    loads_new = x_new.astype(np.float64) @ sizes
+    capacities = np.maximum(loads_old, loads_new) + slack
+    return RtspInstance.create(
+        sizes, capacities, _closed_costs(m, gen), x_old, x_new
+    )
+
+
+def _ring_instance(idx: int, gen: np.random.Generator) -> RtspInstance:
+    """Rotation rings: every server must hand its object to its neighbour.
+
+    Zero-slack rings are the adversarial case of paper Fig. 1 — the
+    transfer graph is one big cycle, so either the dummy breaks it or a
+    spare server stages a copy. Even indices add that spare server.
+    """
+    k = 3 + idx % 3  # 3..5 ring members
+    spare = idx % 2 == 0
+    m = k + (1 if spare else 0)
+    x_old = np.zeros((m, k), dtype=np.int8)
+    x_new = np.zeros((m, k), dtype=np.int8)
+    for i in range(k):
+        x_old[i, i] = 1
+        x_new[(i + 1) % k, i] = 1
+    sizes = np.ones(k, dtype=np.float64)
+    capacities = np.ones(m, dtype=np.float64)
+    costs = _closed_costs(m, gen)
+    return RtspInstance.create(sizes, capacities, costs, x_old, x_new)
+
+
+def _knapsack_instance(idx: int, gen: np.random.Generator) -> RtspInstance:
+    """Paper §3.4 hardness construction on a tiny random Knapsack."""
+    n = 2 + idx % 2  # 2..3 knapsack objects -> at most 6 servers
+    sizes = [int(s) for s in gen.integers(1, 4, size=n)]
+    benefits = [int(b) for b in gen.integers(1, 5, size=n)]
+    capacity = max(1, sum(sizes) // 2)
+    knap = KnapsackInstance.create(benefits, sizes, capacity)
+    return reduce_knapsack_to_rtsp(knap).rtsp
+
+
+def family_instances(
+    family: str,
+    count: int = DEFAULT_COUNT,
+    seed: int = _MASTER_SEED,
+) -> List[RtspInstance]:
+    """The ``count`` deterministic instances of ``family``.
+
+    Families: ``loose`` (random placements, spare capacity), ``tight``
+    (zero storage slack — deletions must precede transfers), ``ring``
+    (rotation cycles that deadlock without the dummy or staging) and
+    ``knapsack`` (the §3.4 reduction on tiny Knapsack instances). All
+    stay within 6 servers x 8 objects so the default solver budget
+    proves every optimum.
+    """
+    builders = {
+        "loose": lambda idx, gen: _placement_instance(idx, gen, slack=4.0),
+        "tight": lambda idx, gen: _placement_instance(idx, gen, slack=0.0),
+        "ring": _ring_instance,
+        "knapsack": _knapsack_instance,
+    }
+    try:
+        build = builders[family]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown instance family {family!r}; "
+            f"available: {sorted(builders)}"
+        ) from None
+    if count <= 0:
+        raise ConfigurationError("count must be positive")
+    return [
+        build(idx, ensure_rng(derive_seed(seed, "exact", family, idx)))
+        for idx in range(count)
+    ]
+
+
+# ----------------------------------------------------------------------
+# the differential harness
+# ----------------------------------------------------------------------
+def _heuristic_cell(
+    instance: RtspInstance, spec: str, seed: int, exact_cost: float
+) -> Dict[str, Any]:
+    """Run one pipeline at one seed and grade it against the optimum."""
+    schedule = build_pipeline(spec).run(instance, rng=seed)
+    report = check_invariants(instance, schedule)
+    # Oracle cross-check: the model layer and the independent checker
+    # must agree on the cost they recompute.
+    model_cost = schedule.cost(instance)
+    cost_agrees = abs(model_cost - report.cost) <= 1e-9 * max(
+        1.0, abs(model_cost)
+    )
+    gap = 0.0
+    if exact_cost > 0.0:
+        gap = (report.cost - exact_cost) / exact_cost
+    return {
+        "seed": seed,
+        "cost": report.cost,
+        "gap": gap,
+        "valid": report.ok and cost_agrees,
+        "dummy_transfers": report.dummy_transfers,
+        "num_actions": report.num_actions,
+    }
+
+
+def differential_payload(
+    family: str,
+    count: int = DEFAULT_COUNT,
+    pipelines: Sequence[str] = DEFAULT_PIPELINES,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    budget: Optional[SolverBudget] = None,
+) -> Dict[str, Any]:
+    """The golden payload for one family: exact optima + heuristic gaps.
+
+    The result is JSON-ready and fully deterministic; dumping it with
+    :func:`canonical_json` must reproduce the committed corpus file
+    byte-for-byte.
+    """
+    budget = budget or SolverBudget()
+    solver = BranchAndBoundSolver(budget=budget)
+    entries: List[Dict[str, Any]] = []
+    for index, instance in enumerate(family_instances(family, count=count)):
+        result = solver.solve(instance)
+        entry: Dict[str, Any] = {
+            "index": index,
+            "num_servers": instance.num_servers,
+            "num_objects": instance.num_objects,
+            "instance": instance_to_dict(instance),
+            "exact": {
+                "status": result.status,
+                "cost": result.cost,
+                "lower_bound": result.lower_bound,
+                "num_actions": len(result.schedule),
+                "dummy_transfers": result.schedule.count_dummy_transfers(
+                    instance
+                ),
+            },
+            "heuristics": {
+                spec: [
+                    _heuristic_cell(instance, spec, seed, result.cost)
+                    for seed in seeds
+                ]
+                for spec in pipelines
+            },
+        }
+        entries.append(entry)
+    return {
+        "format": GOLDEN_FORMAT,
+        "family": family,
+        "count": count,
+        "pipelines": list(pipelines),
+        "seeds": [int(s) for s in seeds],
+        "solver": {"max_nodes": budget.max_nodes},
+        "instances": entries,
+    }
+
+
+def gap_summary(payload: Dict[str, Any]) -> Dict[str, Dict[str, float]]:
+    """Per-pipeline max/mean gap over one family payload."""
+    gaps: Dict[str, List[float]] = {}
+    for entry in payload["instances"]:
+        for spec, cells in entry["heuristics"].items():
+            gaps.setdefault(spec, []).extend(cell["gap"] for cell in cells)
+    return {
+        spec: {
+            "max_gap": max(values),
+            "mean_gap": sum(values) / len(values),
+        }
+        for spec, values in gaps.items()
+        if values
+    }
+
+
+# ----------------------------------------------------------------------
+# golden corpus maintenance
+# ----------------------------------------------------------------------
+def canonical_json(payload: Dict[str, Any]) -> str:
+    """The one true serialization the corpus is diffed in."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _corpus_problems(payload: Dict[str, Any]) -> List[str]:
+    """Semantic gate on a (re)generated payload, independent of diffing."""
+    problems: List[str] = []
+    family = payload["family"]
+    for entry in payload["instances"]:
+        label = f"{family}[{entry['index']}]"
+        exact = entry["exact"]
+        if exact["status"] != PROVED_OPTIMAL:
+            problems.append(
+                f"{label}: solver returned {exact['status']} within the "
+                f"default budget (expected {PROVED_OPTIMAL})"
+            )
+        for spec, cells in entry["heuristics"].items():
+            for cell in cells:
+                if not cell["valid"]:
+                    problems.append(
+                        f"{label}: {spec} seed {cell['seed']} produced an "
+                        "invalid schedule (strict invariant check failed)"
+                    )
+                if cell["gap"] < -1e-12:
+                    problems.append(
+                        f"{label}: {spec} seed {cell['seed']} beat the "
+                        f"'optimal' cost by {-cell['gap']:.3%} — the exact "
+                        "solver is not exact"
+                    )
+        # The stored instance must round-trip, so the corpus stays
+        # usable as standalone test data.
+        instance_from_dict(entry["instance"])
+    return problems
+
+
+def check_corpus(
+    directory: Union[str, pathlib.Path] = DEFAULT_GOLDEN_DIR,
+    families: Sequence[str] = DEFAULT_FAMILIES,
+    budget: Optional[SolverBudget] = None,
+) -> List[str]:
+    """Regenerate every family and diff against the committed corpus.
+
+    Returns a list of human-readable problems; empty means the corpus
+    is reproduced byte-identically and semantically sound.
+    """
+    directory = pathlib.Path(directory)
+    problems: List[str] = []
+    for family in families:
+        payload = differential_payload(family, budget=budget)
+        problems.extend(_corpus_problems(payload))
+        path = directory / f"{family}.json"
+        if not path.exists():
+            problems.append(
+                f"{path}: missing golden file (run "
+                "`python -m repro.tools golden --update`)"
+            )
+            continue
+        expected = path.read_text()
+        actual = canonical_json(payload)
+        if actual != expected:
+            problems.extend(_describe_drift(family, path, expected, actual))
+    return problems
+
+
+def _describe_drift(
+    family: str, path: pathlib.Path, expected: str, actual: str
+) -> List[str]:
+    """Pinpoint which recorded numbers moved, not just 'files differ'."""
+    problems = [f"{path}: golden corpus drift (regenerated output differs)"]
+    try:
+        old = json.loads(expected)
+    except json.JSONDecodeError:
+        problems.append(f"{path}: committed file is not valid JSON")
+        return problems
+    new = json.loads(actual)
+    old_entries = {e["index"]: e for e in old.get("instances", [])}
+    for entry in new["instances"]:
+        before = old_entries.get(entry["index"])
+        if before is None:
+            problems.append(f"{family}[{entry['index']}]: new instance")
+            continue
+        if before["exact"] != entry["exact"]:
+            problems.append(
+                f"{family}[{entry['index']}]: exact result moved "
+                f"{before['exact']} -> {entry['exact']}"
+            )
+        for spec, cells in entry["heuristics"].items():
+            old_cells = before["heuristics"].get(spec)
+            if old_cells != cells:
+                problems.append(
+                    f"{family}[{entry['index']}]: {spec} gaps moved "
+                    f"{old_cells} -> {cells}"
+                )
+    return problems
+
+
+def update_corpus(
+    directory: Union[str, pathlib.Path] = DEFAULT_GOLDEN_DIR,
+    families: Sequence[str] = DEFAULT_FAMILIES,
+    budget: Optional[SolverBudget] = None,
+) -> List[pathlib.Path]:
+    """Regenerate and write every family file; returns the paths written.
+
+    Refuses (raises :class:`ConfigurationError`) when the regenerated
+    corpus is semantically unsound — an unproved optimum or an invalid
+    heuristic schedule must be fixed, not committed.
+    """
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: List[pathlib.Path] = []
+    for family in families:
+        payload = differential_payload(family, budget=budget)
+        problems = _corpus_problems(payload)
+        if problems:
+            raise ConfigurationError(
+                "refusing to write an unsound golden corpus:\n  "
+                + "\n  ".join(problems)
+            )
+        path = directory / f"{family}.json"
+        path.write_text(canonical_json(payload))
+        written.append(path)
+    return written

@@ -108,12 +108,28 @@ class RepairReport:
         """The applied (``ok`` + ``lost``) events as a plain schedule."""
         return Schedule(e.action for e in self.events if e.applied)
 
-    def revalidate(self, instance: RtspInstance) -> bool:
-        """Whether the applied event log replays from ``X_old`` to ``X_new``."""
+    def revalidate(self, instance: RtspInstance, strict: bool = False) -> bool:
+        """Whether the applied event log replays from ``X_old`` to ``X_new``.
+
+        With ``strict=True`` the check runs through the independent
+        invariant oracle (:func:`repro.exact.validate.check_invariants`)
+        instead of the model-layer replay.
+        """
+        if strict:
+            from repro.exact.validate import check_invariants
+
+            return check_invariants(instance, self.applied_schedule()).ok
         return self.applied_schedule().is_valid(instance)
 
-    def require_valid(self, instance: RtspInstance) -> None:
+    def require_valid(self, instance: RtspInstance, strict: bool = False) -> None:
         """Raise unless the applied event log re-validates."""
+        if strict:
+            from repro.exact.validate import assert_invariants
+
+            assert_invariants(
+                instance, self.applied_schedule(), context="repaired trace"
+            )
+            return
         self.applied_schedule().require_valid(instance)
 
 
@@ -154,14 +170,16 @@ class RepairEngine:
         instance: RtspInstance,
         plan: FaultPlan,
         rng: int = 0,
-        validate: bool = True,
+        validate=True,
     ) -> RepairReport:
         """Run ``instance``'s transition under ``plan``, repairing online.
 
         ``rng`` must be an integer seed (per-round seeds are derived from
-        it, which is what makes re-execution deterministic). With
-        ``validate=True`` the applied event log is re-validated against
-        ``instance`` before returning.
+        it, which is what makes re-execution deterministic). ``validate``
+        re-checks the applied event log before returning: ``True`` /
+        ``"basic"`` replays through the model layer, ``"strict"`` runs
+        the independent invariant oracle from
+        :mod:`repro.exact.validate`, ``None``/``False`` skips the check.
         """
         seed = int(rng)
         registry = current_metrics()
@@ -280,7 +298,7 @@ class RepairEngine:
                 if event.action.source == instance.dummy:
                     report.dummy_transfers += 1
         if validate:
-            report.require_valid(instance)
+            report.require_valid(instance, strict=(validate == "strict"))
         return report
 
 

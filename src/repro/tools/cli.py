@@ -41,6 +41,44 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("validate", help="replay a schedule against an instance")
     p.add_argument("--instance", required=True)
     p.add_argument("--schedule", required=True)
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="also run the independent invariant oracle (repro.exact)",
+    )
+
+    p = sub.add_parser(
+        "exact", help="solve an instance to proven optimality (small sizes)"
+    )
+    p.add_argument("--instance", required=True)
+    p.add_argument(
+        "--max-nodes", type=int, default=None,
+        help="search-node budget (default: solver default)",
+    )
+    p.add_argument(
+        "--max-seconds", type=float, default=None,
+        help="wall-clock budget (off by default; breaks determinism)",
+    )
+    p.add_argument("--out", help="write the optimal rtsp-schedule/1 file here")
+
+    p = sub.add_parser(
+        "golden",
+        help="check or refresh the exact differential corpus "
+        "(tests/golden/exact)",
+    )
+    mode = p.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--check", action="store_true",
+        help="regenerate and byte-compare against the committed corpus",
+    )
+    mode.add_argument(
+        "--update", action="store_true",
+        help="regenerate and overwrite the committed corpus",
+    )
+    p.add_argument(
+        "--dir", default=None,
+        help="corpus directory (default: tests/golden/exact)",
+    )
 
     p = sub.add_parser("analyze", help="feasibility + cost bounds of an instance")
     p.add_argument("--instance", required=True)
@@ -81,16 +119,80 @@ def _cmd_validate(args) -> int:
     instance = load_instance(args.instance)
     schedule = load_schedule(args.schedule)
     report = schedule.validate(instance)
-    if report.ok:
-        print(
-            f"VALID: cost={report.cost:,.6g}, "
-            f"dummy transfers={report.dummy_transfers}, "
-            f"actions={len(schedule)}"
+    if not report.ok:
+        where = (
+            "end state" if report.position is None else f"action {report.position}"
         )
+        print(f"INVALID at {where}: {report.message}")
+        return 1
+    if args.strict:
+        from repro.exact.validate import check_invariants
+
+        strict_report = check_invariants(instance, schedule)
+        if not strict_report.ok:
+            print(f"STRICT-INVALID: {strict_report.summary()}")
+            return 1
+        if abs(strict_report.cost - report.cost) > 1e-9 * max(1.0, report.cost):
+            print(
+                "ORACLE DISAGREEMENT: model cost "
+                f"{report.cost:,.6g} != independent cost "
+                f"{strict_report.cost:,.6g}"
+            )
+            return 1
+    print(
+        f"VALID{' (strict)' if args.strict else ''}: cost={report.cost:,.6g}, "
+        f"dummy transfers={report.dummy_transfers}, "
+        f"actions={len(schedule)}"
+    )
+    return 0
+
+
+def _cmd_exact(args) -> int:
+    from repro.exact.solver import SolverBudget, solve_optimal
+
+    instance = load_instance(args.instance)
+    kwargs = {}
+    if args.max_nodes is not None:
+        kwargs["max_nodes"] = args.max_nodes
+    if args.max_seconds is not None:
+        kwargs["max_seconds"] = args.max_seconds
+    budget = SolverBudget(**kwargs) if kwargs else None
+    result = solve_optimal(instance, budget=budget)
+    print(f"status      : {result.status}")
+    print(f"cost        : {result.cost:,.6g}")
+    print(f"lower bound : {result.lower_bound:,.6g}")
+    print(
+        f"search      : {result.stats.nodes} nodes, "
+        f"{result.stats.pruned_bound} bound-pruned, "
+        f"{result.stats.pruned_memo} memo-pruned, "
+        f"{result.stats.elapsed_seconds:.3f}s"
+    )
+    if args.out:
+        save_schedule(result.schedule, args.out)
+        print(f"wrote {args.out}")
+    return 0 if result.proved_optimal else 1
+
+
+def _cmd_golden(args) -> int:
+    from repro.exact.differential import (
+        DEFAULT_GOLDEN_DIR,
+        check_corpus,
+        update_corpus,
+    )
+
+    directory = args.dir or DEFAULT_GOLDEN_DIR
+    if args.update:
+        for path in update_corpus(directory):
+            print(f"wrote {path}")
         return 0
-    where = "end state" if report.position is None else f"action {report.position}"
-    print(f"INVALID at {where}: {report.message}")
-    return 1
+    problems = check_corpus(directory)
+    if problems:
+        print(f"golden corpus check FAILED ({len(problems)} problems):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print("golden corpus check passed (byte-identical, all optima proved)")
+    return 0
 
 
 def _cmd_analyze(args) -> int:
@@ -151,6 +253,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "analyze": _cmd_analyze,
         "makespan": _cmd_makespan,
         "trace-summary": _cmd_trace_summary,
+        "exact": _cmd_exact,
+        "golden": _cmd_golden,
     }
     try:
         return handlers[args.command](args)

@@ -1,0 +1,101 @@
+"""Tests for the differential harness (:mod:`repro.exact.differential`)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exact import (
+    DEFAULT_FAMILIES,
+    PROVED_OPTIMAL,
+    SolverBudget,
+    differential_payload,
+    family_instances,
+    gap_summary,
+)
+from repro.exact.differential import canonical_json
+from repro.util.errors import ConfigurationError
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("family", DEFAULT_FAMILIES)
+    def test_deterministic(self, family):
+        a = family_instances(family, count=2)
+        b = family_instances(family, count=2)
+        for x, y in zip(a, b):
+            assert np.array_equal(x.sizes, y.sizes)
+            assert np.array_equal(x.costs, y.costs)
+            assert np.array_equal(x.x_old, y.x_old)
+            assert np.array_equal(x.x_new, y.x_new)
+
+    @pytest.mark.parametrize("family", DEFAULT_FAMILIES)
+    def test_within_solver_scale(self, family):
+        for instance in family_instances(family):
+            assert instance.num_servers <= 6
+            assert instance.num_objects <= 8
+
+    def test_families_differ(self):
+        loose = family_instances("loose", count=1)[0]
+        tight = family_instances("tight", count=1)[0]
+        # Same generator stream, different slack policy.
+        assert float(tight.capacities.sum()) < float(loose.capacities.sum())
+
+    def test_ring_rotates_every_object(self):
+        for instance in family_instances("ring"):
+            # Every object moves: no overlap between old and new holders.
+            assert not np.any((instance.x_old == 1) & (instance.x_new == 1))
+
+    def test_unknown_family(self):
+        with pytest.raises(ConfigurationError, match="unknown instance family"):
+            family_instances("dense")
+        with pytest.raises(ConfigurationError):
+            family_instances("ring", count=0)
+
+
+class TestPayload:
+    @pytest.fixture(scope="class")
+    def payload(self):
+        return differential_payload(
+            "ring", count=2, pipelines=("GSDF", "GOLCF"), seeds=(0, 1)
+        )
+
+    def test_structure(self, payload):
+        assert payload["format"] == "rtsp-golden-exact/1"
+        assert payload["family"] == "ring"
+        assert [e["index"] for e in payload["instances"]] == [0, 1]
+        for entry in payload["instances"]:
+            assert entry["exact"]["status"] == PROVED_OPTIMAL
+            assert set(entry["heuristics"]) == {"GSDF", "GOLCF"}
+            for cells in entry["heuristics"].values():
+                assert [c["seed"] for c in cells] == [0, 1]
+
+    def test_gaps_nonnegative_and_valid(self, payload):
+        for entry in payload["instances"]:
+            for cells in entry["heuristics"].values():
+                for cell in cells:
+                    assert cell["valid"]
+                    assert cell["gap"] >= -1e-12
+                    assert cell["cost"] >= entry["exact"]["cost"] - 1e-9
+
+    def test_gap_summary(self, payload):
+        summary = gap_summary(payload)
+        assert set(summary) == {"GSDF", "GOLCF"}
+        for stats in summary.values():
+            assert stats["max_gap"] >= stats["mean_gap"] >= 0.0
+
+    def test_canonical_json_round_trips(self, payload):
+        text = canonical_json(payload)
+        assert text.endswith("\n")
+        assert json.loads(text) == payload
+        # Canonical means canonical: dumping twice is byte-identical.
+        assert canonical_json(json.loads(text)) == text
+
+    def test_respects_budget_override(self):
+        payload = differential_payload(
+            "ring",
+            count=1,
+            pipelines=("GSDF",),
+            seeds=(0,),
+            budget=SolverBudget(max_nodes=500),
+        )
+        assert payload["solver"]["max_nodes"] == 500

@@ -1,0 +1,85 @@
+"""The golden-corpus gate: regenerate and compare byte-for-byte.
+
+This is the test CI's ``exact-differential`` job leans on. It fails when
+any heuristic's cost moves on the corpus instances, when the solver
+loses an optimality proof, or when a schedule stops validating — the
+gaps recorded in ``tests/golden/exact/*.json`` are part of the repo's
+contract.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.exact import (
+    DEFAULT_FAMILIES,
+    PROVED_OPTIMAL,
+    check_corpus,
+    update_corpus,
+)
+from repro.exact.differential import DEFAULT_GOLDEN_DIR
+from repro.tools.cli import main as tools_main
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+GOLDEN_DIR = REPO_ROOT / DEFAULT_GOLDEN_DIR
+
+
+class TestCommittedCorpus:
+    @pytest.mark.parametrize("family", DEFAULT_FAMILIES)
+    def test_file_exists_and_is_sound(self, family):
+        path = GOLDEN_DIR / f"{family}.json"
+        assert path.exists(), "run `python -m repro.tools golden --update`"
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "rtsp-golden-exact/1"
+        for entry in payload["instances"]:
+            assert entry["exact"]["status"] == PROVED_OPTIMAL
+            assert entry["num_servers"] <= 6
+            assert entry["num_objects"] <= 8
+
+    @pytest.mark.slow
+    def test_corpus_reproduces_byte_identically(self):
+        problems = check_corpus(GOLDEN_DIR)
+        assert problems == []
+
+
+class TestCorpusMaintenance:
+    @pytest.mark.slow
+    def test_update_then_check_round_trip(self, tmp_path):
+        families = ("ring",)
+        written = update_corpus(tmp_path, families=families)
+        assert [p.name for p in written] == ["ring.json"]
+        assert check_corpus(tmp_path, families=families) == []
+
+    @pytest.mark.slow
+    def test_check_detects_tampering(self, tmp_path):
+        update_corpus(tmp_path, families=("ring",))
+        path = tmp_path / "ring.json"
+        payload = json.loads(path.read_text())
+        payload["instances"][0]["exact"]["cost"] += 1.0
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        problems = check_corpus(tmp_path, families=("ring",))
+        assert any("drift" in p for p in problems)
+        assert any("exact result moved" in p for p in problems)
+
+    def test_check_reports_missing_file(self, tmp_path):
+        problems = check_corpus(tmp_path, families=("ring",))
+        assert any("missing golden file" in p for p in problems)
+
+
+class TestCli:
+    @pytest.mark.slow
+    def test_golden_check_cli_passes_on_committed_corpus(self, capsys):
+        code = tools_main(["golden", "--check", "--dir", str(GOLDEN_DIR)])
+        assert code == 0
+        assert "passed" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_golden_cli_update_and_check(self, tmp_path, capsys):
+        assert tools_main(["golden", "--update", "--dir", str(tmp_path)]) == 0
+        assert tools_main(["golden", "--check", "--dir", str(tmp_path)]) == 0
+
+    def test_golden_check_cli_fails_on_empty_dir(self, tmp_path, capsys):
+        code = tools_main(["golden", "--check", "--dir", str(tmp_path)])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out

@@ -1,0 +1,168 @@
+"""Tests for the strict invariant oracle (:mod:`repro.exact.validate`)."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_pipeline, get_builder
+from repro.exact import assert_invariants, check_invariants, resolve_validator
+from repro.model.actions import Delete, Transfer
+from repro.model.instance import RtspInstance
+from repro.model.schedule import Schedule
+from repro.util.errors import ConfigurationError, InvalidScheduleError
+
+
+@pytest.fixture
+def instance():
+    """Three servers, two unit objects, O0 moving from S0 to S2."""
+    x_old = np.array([[1, 0], [0, 1], [0, 0]], dtype=np.int8)
+    x_new = np.array([[0, 0], [0, 1], [1, 0]], dtype=np.int8)
+    costs = np.array([[0.0, 1.0, 2.0], [1.0, 0.0, 1.0], [2.0, 1.0, 0.0]])
+    return RtspInstance.create(
+        [1.0, 1.0], [2.0, 2.0, 1.0], costs, x_old, x_new
+    )
+
+
+@pytest.fixture
+def valid_schedule():
+    return Schedule([Transfer(2, 0, 0), Delete(0, 0)])
+
+
+class TestValidSchedules:
+    def test_accepts_and_recomputes(self, instance, valid_schedule):
+        report = check_invariants(instance, valid_schedule)
+        assert report.ok
+        assert report.violations == ()
+        assert report.first is None
+        assert report.cost == pytest.approx(valid_schedule.cost(instance))
+        assert report.dummy_transfers == 0
+        assert report.num_actions == 2
+        assert report.summary().startswith("valid")
+
+    def test_peak_load_tracks_prefix_maximum(self, instance, valid_schedule):
+        report = check_invariants(instance, valid_schedule)
+        # S2 rises to 1.0 when the transfer lands; S0 starts (and peaks)
+        # at 1.0 before its delete.
+        assert report.peak_load == (1.0, 1.0, 1.0)
+
+    def test_assert_returns_report(self, instance, valid_schedule):
+        report = assert_invariants(instance, valid_schedule)
+        assert report.ok
+
+    def test_agrees_with_model_on_builders(self, instance, fig1, fig3):
+        for inst in (instance, fig1, fig3):
+            for name in ("RDF", "GSDF", "AR", "GOLCF"):
+                schedule = get_builder(name).build(inst, rng=0)
+                report = check_invariants(inst, schedule)
+                assert report.ok, report.summary()
+                assert report.cost == pytest.approx(schedule.cost(inst))
+                assert report.dummy_transfers == (
+                    schedule.count_dummy_transfers(inst)
+                )
+
+
+class TestViolations:
+    def rule_of(self, instance, actions):
+        report = check_invariants(instance, Schedule(actions))
+        assert not report.ok
+        return report.first.rule
+
+    def test_source_missing(self, instance):
+        assert self.rule_of(instance, [Transfer(2, 0, 1)]) == "source-missing"
+
+    def test_target_present(self, instance):
+        actions = [Transfer(2, 0, 0), Transfer(2, 0, 0)]
+        assert self.rule_of(instance, actions) == "target-present"
+
+    def test_self_transfer(self, instance):
+        assert self.rule_of(instance, [Transfer(0, 0, 0)]) == "self-transfer"
+
+    def test_dummy_target(self, instance):
+        dummy = instance.dummy
+        assert self.rule_of(instance, [Transfer(dummy, 0, 0)]) == "dummy-target"
+
+    def test_dummy_delete(self, instance):
+        assert self.rule_of(instance, [Delete(instance.dummy, 0)]) == (
+            "dummy-delete"
+        )
+
+    def test_replica_missing(self, instance):
+        assert self.rule_of(instance, [Delete(2, 0)]) == "replica-missing"
+
+    def test_capacity_at_prefix(self, instance):
+        # S2 has room for one unit object; a second transfer overflows it
+        # even though deleting later would fix the end state.
+        actions = [Transfer(2, 0, 0), Transfer(2, 1, 1)]
+        assert self.rule_of(instance, actions) == "capacity"
+
+    def test_index_range(self, instance):
+        assert self.rule_of(instance, [Transfer(99, 0, 0)]) == "index-range"
+        assert self.rule_of(instance, [Delete(0, 99)]) == "index-range"
+
+    def test_unknown_action(self, instance):
+        assert self.rule_of(instance, [object()]) == "unknown-action"
+
+    def test_landing(self, instance):
+        # Valid steps, wrong destination: O0 never reaches S2.
+        report = check_invariants(instance, Schedule([]))
+        assert not report.ok
+        assert report.first.rule == "landing"
+        assert report.first.position is None
+
+    def test_invalid_actions_still_charged(self, instance):
+        # Differential comparisons need the cost of the whole sequence.
+        report = check_invariants(
+            instance, Schedule([Transfer(2, 0, 0), Transfer(2, 0, 0)])
+        )
+        assert not report.ok
+        assert report.cost == pytest.approx(2 * instance.costs[2, 0])
+
+    def test_assert_raises_with_context(self, instance):
+        with pytest.raises(InvalidScheduleError, match="unit-test:"):
+            assert_invariants(instance, Schedule([]), context="unit-test")
+
+
+class TestResolveValidator:
+    def test_none_and_false_disable(self):
+        assert resolve_validator(None) is None
+        assert resolve_validator(False) is None
+
+    def test_basic_replays_model(self, instance, valid_schedule):
+        validator = resolve_validator("basic")
+        validator(instance, valid_schedule)  # does not raise
+        with pytest.raises(InvalidScheduleError):
+            validator(instance, Schedule([]))
+
+    def test_strict_uses_oracle(self, instance, valid_schedule):
+        validator = resolve_validator("strict")
+        validator(instance, valid_schedule)
+        with pytest.raises(InvalidScheduleError):
+            validator(instance, Schedule([Transfer(2, 0, 1)]))
+
+    def test_callable_passthrough(self):
+        sentinel = lambda instance, schedule: None  # noqa: E731
+        assert resolve_validator(sentinel) is sentinel
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            resolve_validator("very-strict")
+        with pytest.raises(ConfigurationError):
+            resolve_validator(3.14)
+
+
+class TestPipelineWiring:
+    def test_strict_pipeline_accepts_all_stages(self, fig3):
+        schedule = build_pipeline("GOLCF+H1+H2+OP1", validate="strict").run(
+            fig3, rng=0
+        )
+        assert schedule.validate(fig3).ok
+
+    def test_failing_validator_names_stage(self, fig3):
+        def reject(instance, schedule):
+            raise InvalidScheduleError("nope", position=0)
+
+        with pytest.raises(InvalidScheduleError, match="stage 'GSDF'"):
+            build_pipeline("GSDF", validate=reject).run(fig3, rng=0)
+
+    def test_build_checked_default_strict(self, fig3):
+        schedule = get_builder("GOLCF").build_checked(fig3, rng=0)
+        assert schedule.validate(fig3).ok

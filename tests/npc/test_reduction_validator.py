@@ -1,0 +1,65 @@
+"""Regression: §3.4 reduction instances satisfy the strict validator.
+
+The Knapsack→RTSP construction packs the hub server to the byte — its
+spare space equals the knapsack capacity exactly — so an off-by-one in
+either the reduction's capacities or the validator's prefix-capacity
+accounting would surface here first.
+"""
+
+from itertools import combinations
+
+import pytest
+
+from repro.exact import check_invariants, solve_optimal
+from repro.npc.knapsack import KnapsackInstance, solve_knapsack
+from repro.npc.reduction import (
+    canonical_cost,
+    canonical_schedule,
+    reduce_knapsack_to_rtsp,
+)
+
+CASES = [
+    ((3, 1), (2, 1), 2),
+    ((1, 2, 3), (1, 2, 3), 3),
+    ((4, 2, 1), (3, 1, 2), 4),
+    ((2, 2), (1, 3), 1),
+    ((5,), (2,), 2),
+    ((1, 1, 1), (2, 2, 2), 6),
+]
+
+
+def feasible_subsets(knap):
+    for r in range(knap.num_objects + 1):
+        for subset in combinations(range(knap.num_objects), r):
+            if sum(knap.sizes[i] for i in subset) <= knap.capacity:
+                yield subset
+
+
+@pytest.mark.parametrize("benefits,sizes,capacity", CASES)
+def test_canonical_schedules_pass_strict_validator(benefits, sizes, capacity):
+    knap = KnapsackInstance.create(list(benefits), list(sizes), capacity)
+    reduction = reduce_knapsack_to_rtsp(knap)
+    for subset in feasible_subsets(knap):
+        schedule = canonical_schedule(reduction, subset)
+        report = check_invariants(reduction.rtsp, schedule)
+        assert report.ok, f"subset {subset}: {report.summary()}"
+        assert report.cost == pytest.approx(
+            canonical_cost(reduction, subset)
+        ), f"subset {subset}: closed-form cost disagrees with the oracle"
+
+
+@pytest.mark.parametrize("benefits,sizes,capacity", CASES[:3])
+def test_exact_optimum_encodes_an_optimal_knapsack(benefits, sizes, capacity):
+    knap = KnapsackInstance.create(list(benefits), list(sizes), capacity)
+    reduction = reduce_knapsack_to_rtsp(knap)
+    best = min(
+        canonical_cost(reduction, s) for s in feasible_subsets(knap)
+    )
+    result = solve_optimal(reduction.rtsp)
+    assert result.proved_optimal
+    # The optimum can only improve on canonical-form schedules ...
+    assert result.cost <= best + 1e-9
+    # ... and the solver's schedule must itself survive the oracle.
+    assert check_invariants(reduction.rtsp, result.schedule).ok
+    # Sanity: the DP solver agrees a max-benefit subset exists.
+    assert solve_knapsack(knap).value >= 0

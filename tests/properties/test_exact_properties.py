@@ -1,0 +1,142 @@
+"""Property tests for :mod:`repro.exact`.
+
+Two contracts are exercised on random tiny instances:
+
+* **Optimality floor** — no heuristic pipeline beats the branch-and-
+  bound optimum (if one ever does, the "exact" solver is not exact);
+* **Oracle agreement** — the independent invariant checker and the
+  model layer's ``Schedule.replay`` accept exactly the same schedules
+  and recompute identical costs, including on mutated (invalid)
+  schedules.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import get_builder
+from repro.exact import SolverBudget, check_invariants, solve_optimal
+from repro.model.actions import Delete, Transfer
+from repro.model.instance import RtspInstance
+from repro.model.schedule import Schedule
+
+BUILDERS = ["RDF", "GSDF", "AR", "GOLCF"]
+
+COMMON = dict(
+    deadline=None,
+    max_examples=20,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def tiny_instances(draw) -> RtspInstance:
+    """Instances small enough that the exact solver proves quickly."""
+    m = draw(st.integers(2, 4))
+    n = draw(st.integers(1, 3))
+    sizes = np.array(
+        draw(st.lists(st.integers(1, 3), min_size=n, max_size=n)), dtype=float
+    )
+    bits = st.lists(
+        st.lists(st.integers(0, 1), min_size=n, max_size=n),
+        min_size=m,
+        max_size=m,
+    )
+    x_old = np.array(draw(bits), dtype=np.int8)
+    x_new = np.array(draw(bits), dtype=np.int8)
+    loads_old = x_old.astype(float) @ sizes
+    loads_new = x_new.astype(float) @ sizes
+    slack = np.array(
+        draw(st.lists(st.integers(0, 3), min_size=m, max_size=m)), dtype=float
+    )
+    capacities = np.maximum(loads_old, loads_new) + slack
+    weights = draw(
+        st.lists(st.integers(1, 9), min_size=m * m, max_size=m * m)
+    )
+    costs = np.array(weights, dtype=float).reshape(m, m)
+    costs = (costs + costs.T) / 2.0
+    np.fill_diagonal(costs, 0.0)
+    return RtspInstance.create(sizes, capacities, costs, x_old, x_new)
+
+
+@settings(**COMMON)
+@given(inst=tiny_instances(), seed=st.integers(0, 2**31 - 1))
+def test_no_builder_beats_the_exact_optimum(inst, seed):
+    result = solve_optimal(inst)
+    assert result.proved_optimal
+    for name in BUILDERS:
+        schedule = get_builder(name).build(inst, rng=seed)
+        assert schedule.cost(inst) >= result.cost - 1e-9, (
+            f"{name} beat the 'optimal' cost — the exact solver is broken"
+        )
+
+
+@settings(**COMMON)
+@given(inst=tiny_instances(), seed=st.integers(0, 2**31 - 1))
+def test_oracle_agrees_on_valid_schedules(inst, seed):
+    for name in BUILDERS:
+        schedule = get_builder(name).build(inst, rng=seed)
+        model = schedule.validate(inst)
+        oracle = check_invariants(inst, schedule)
+        assert model.ok and oracle.ok
+        assert oracle.cost == float(np.float64(model.cost)) or (
+            abs(oracle.cost - model.cost) <= 1e-9 * max(1.0, abs(model.cost))
+        )
+        assert oracle.dummy_transfers == schedule.count_dummy_transfers(inst)
+
+
+def _mutate(schedule: Schedule, inst: RtspInstance, rng) -> Schedule:
+    """A random small corruption of a schedule (possibly still valid)."""
+    actions = list(schedule)
+    mode = rng.integers(0, 4)
+    if mode == 0 and actions:  # drop one action
+        del actions[int(rng.integers(len(actions)))]
+    elif mode == 1 and len(actions) >= 2:  # swap two actions
+        a, b = rng.choice(len(actions), size=2, replace=False)
+        actions[a], actions[b] = actions[b], actions[a]
+    elif mode == 2 and actions:  # duplicate one action
+        actions.append(actions[int(rng.integers(len(actions)))])
+    else:  # inject an arbitrary in-range action
+        if int(rng.integers(2)):
+            actions.append(
+                Transfer(
+                    int(rng.integers(inst.num_servers)),
+                    int(rng.integers(inst.num_objects)),
+                    int(rng.integers(inst.num_servers + 1)),
+                )
+            )
+        else:
+            actions.append(
+                Delete(
+                    int(rng.integers(inst.num_servers)),
+                    int(rng.integers(inst.num_objects)),
+                )
+            )
+    return Schedule(actions)
+
+
+@settings(**COMMON)
+@given(inst=tiny_instances(), seed=st.integers(0, 2**31 - 1))
+def test_oracle_agrees_on_mutated_schedules(inst, seed):
+    rng = np.random.default_rng(seed)
+    base = get_builder("GSDF").build(inst, rng=int(seed))
+    for _ in range(4):
+        mutated = _mutate(base, inst, rng)
+        model_ok = mutated.is_valid(inst)
+        oracle_ok = check_invariants(inst, mutated).ok
+        assert model_ok == oracle_ok, (
+            f"oracle disagreement on {list(mutated)}: "
+            f"model={model_ok} oracle={oracle_ok}"
+        )
+
+
+@settings(deadline=None, max_examples=10,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(inst=tiny_instances())
+def test_budget_truncation_is_sound(inst):
+    """A starved search still returns a valid schedule and true bounds."""
+    full = solve_optimal(inst)
+    starved = solve_optimal(inst, budget=SolverBudget(max_nodes=2))
+    if len(starved.schedule) or not np.isinf(starved.cost):
+        assert check_invariants(inst, starved.schedule).ok
+        assert starved.lower_bound - 1e-9 <= full.cost <= starved.cost + 1e-9
