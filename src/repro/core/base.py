@@ -168,9 +168,14 @@ def available_optimizers() -> List[str]:
 # shared building blocks
 # ----------------------------------------------------------------------
 def shuffled_pairs(mask: np.ndarray, rng) -> List[Tuple[int, int]]:
-    """All ``(server, obj)`` coordinates with ``mask == 1``, shuffled."""
-    pairs = list(zip(*np.nonzero(mask)))
-    pairs = [(int(i), int(k)) for i, k in pairs]
+    """All ``(server, obj)`` coordinates with ``mask == 1``, shuffled.
+
+    ``tolist()`` converts whole index columns to Python ints at C speed
+    (per-element ``int()`` casts dominated builder setup at fleet
+    scale); the pair order and the shuffle's RNG stream are unchanged.
+    """
+    rows, cols = np.nonzero(mask)
+    pairs = list(zip(rows.tolist(), cols.tolist()))
     gen = ensure_rng(rng)
     gen.shuffle(pairs)
     return pairs

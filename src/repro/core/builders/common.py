@@ -73,6 +73,21 @@ class PendingTransferSelector:
     (insertion) order of objects, then per-object pending order, and
     ``np.argmin`` returns the first minimum — exactly the element the
     scalar ``cost < best`` scan would have kept.
+
+    Path-identity contract: the scalar and gather refreshes must write
+    bit-identical costs so schedules never depend on which side of
+    ``_SCALAR_BLOCK`` an instance lands on. Both compute
+    ``size * min(row[dummy], row[j] for j in holders)`` — a single
+    gathered minimum times one float64 multiply, no summation — so the
+    values agree exactly as long as the cost matrix is NaN-free
+    (enforced by :meth:`repro.model.instance.RtspInstance.create`; a NaN
+    entry is skipped by the scalar ``<`` scan but *selected* by the
+    gather's ``argmin``) and pending targets never hold their own
+    object (guaranteed by construction: a target leaves the pending
+    list before its replica is recorded, and eq. 4 evictions only ever
+    remove superfluous replicas, never an ``X_new`` cell).
+    ``tests/core/test_selector_paths.py`` pins both paths to the same
+    instances and asserts byte-identical schedules.
     """
 
     #: Below this ``pending x candidates`` block size a Python scan beats
@@ -192,6 +207,25 @@ class EvictionBenefitCache:
     change it — and recomputed (through
     :meth:`~repro.model.nearest.NearestSourceIndex.keep_benefit`)
     otherwise.
+
+    Invalidation contract (holds for single-step *and* wave-batched
+    callers such as the :mod:`repro.flat` builders, where several
+    deliveries land between queries):
+
+    1. every mutation of ``obj``'s replicator set must flow through the
+       owning state (so ``index.versions[obj]`` bumps) *before* the next
+       :meth:`get` — the trusted fast mutators preserve this;
+    2. ``waiting[obj]`` must only ever shrink, and each removal must
+       happen before the next :meth:`get`. Because the version counter
+       is monotone, a batch of ``d`` deliveries advances the stamp by at
+       least ``d`` on both components — a stamp can never repeat with
+       different underlying sets, so stale hits are impossible no matter
+       how many actions land between queries. Re-adding a target to
+       ``waiting`` (which no builder does) would violate the contract:
+       the set size could return to a previously-stamped value.
+
+    ``tests/core/test_benefit_cache_contract.py`` exercises both the
+    batched-delivery recompute and the stamp-match fast path.
     """
 
     __slots__ = ("_index", "_waiting", "_store", "_c_hits", "_c_misses")

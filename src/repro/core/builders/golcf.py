@@ -48,6 +48,11 @@ class GreedyObjectLowestCostFirst(ScheduleBuilder):
     name = "GOLCF"
 
     def build(self, instance: RtspInstance, rng=None) -> Schedule:
+        # Lazy import: repro.flat builds on repro.core, not vice versa.
+        from repro.flat import flat_build, use_flat
+
+        if use_flat(instance):
+            return flat_build(self.name, instance, rng=rng)
         gen = ensure_rng(rng)
         state = SystemState(instance)
         schedule = Schedule()

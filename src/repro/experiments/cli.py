@@ -93,6 +93,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for fault-plan generation in --figure robust (default 0)",
     )
     parser.add_argument(
+        "--flat",
+        default=None,
+        choices=("auto", "on", "off"),
+        help=(
+            "builder core selection: 'on' forces the flat "
+            "structure-of-arrays core, 'off' the reference object path, "
+            "'auto' (default) switches on instance size; schedules are "
+            "byte-identical either way"
+        ),
+    )
+    parser.add_argument(
         "--chart", action="store_true", help="print ASCII charts too"
     )
     parser.add_argument(
@@ -134,6 +145,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.flat is not None:
+        from repro.flat import set_flat_mode
+
+        set_flat_mode(args.flat)
     scale = get_scale(args.scale)
     if args.seed is not None:
         from dataclasses import replace

@@ -1,0 +1,357 @@
+"""Flat (structure-of-arrays) implementations of the schedule builders.
+
+Each ``flat_*`` function mirrors its reference builder decision-for-
+decision — same RNG consumption, same work-list orders, same
+first-minimum tie-breaks — while eliminating the per-action object
+machinery from the hot loop:
+
+* actions land in a :class:`~repro.flat.buffers.FlatActionBuffer`
+  (int32 columns) instead of ``Transfer``/``Delete`` dataclasses;
+* state mutations go through the trusted fast mutators
+  (:meth:`~repro.model.state.SystemState.apply_transfer_trusted` /
+  ``apply_delete_trusted``) — no per-action validation, because every
+  emitted action is valid by the same construction argument the
+  reference builders rely on (and the differential suite replays flat
+  schedules through the strict oracle to prove it);
+* benefit/cost refreshes are wave-batched through
+  :class:`~repro.flat.selector.FlatTransferSelector`.
+
+The byte-identity contract — ``flat_build(name, instance, rng=s)``
+equals ``get_builder(name).build(instance, rng=s)`` action-for-action —
+is enforced three ways: the golden differential families
+(``tests/flat/``), a hypothesis property over random instances
+(``tests/properties/test_flat_properties.py``), and the scaling
+benchmark's built-in verification (``benchmarks/scale_bench.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.base import shuffled_pairs
+from repro.core.builders.common import (
+    EvictionBenefitCache,
+    pending_deletion_map,
+    pending_transfer_map,
+)
+from repro.flat.buffers import FlatActionBuffer, FlatSchedule
+from repro.flat.selector import FlatTransferSelector
+from repro.model.instance import RtspInstance
+from repro.model.state import CAPACITY_EPS, SystemState
+from repro.obs.context import current_metrics
+from repro.util.errors import ConfigurationError
+from repro.util.rng import ensure_rng
+
+
+class _BuildCounters:
+    """Metrics parity with the reference path (no-op when obs is off)."""
+
+    __slots__ = ("transfers", "dummy_transfers", "evictions")
+
+    def __init__(self) -> None:
+        registry = current_metrics()
+        if registry is None:
+            self.transfers = None
+            self.dummy_transfers = None
+            self.evictions = None
+        else:
+            self.transfers = registry.counter("builder.transfers")
+            self.dummy_transfers = registry.counter("builder.dummy_transfers")
+            self.evictions = registry.counter("builder.evictions")
+
+    def transferred(self, source: int, dummy: int) -> None:
+        if self.transfers is not None:
+            self.transfers.value += 1
+            if source == dummy:
+                self.dummy_transfers.value += 1
+
+    def evicted(self, count: int) -> None:
+        if self.evictions is not None and count:
+            self.evictions.value += count
+
+
+def _deliver(
+    buf: FlatActionBuffer,
+    state: SystemState,
+    counters: _BuildCounters,
+    target: int,
+    obj: int,
+) -> None:
+    """Transfer ``obj`` to ``target`` from the nearest current source."""
+    source = state.nearest(target, obj)
+    state.apply_transfer_trusted(target, obj)
+    buf.append_transfer(target, obj, source)
+    counters.transferred(source, state.dummy)
+
+
+def _evict_for(
+    buf: FlatActionBuffer,
+    state: SystemState,
+    counters: _BuildCounters,
+    target: int,
+    obj: int,
+    deletions: Dict[int, List[int]],
+    benefit_cache: EvictionBenefitCache,
+) -> List[int]:
+    """Flat twin of :func:`repro.core.builders.common.evict_for`.
+
+    Identical victim selection (eq. 4 benefits through the shared
+    cache, computed once per call, first-minimum tie-break); deletions
+    land in the buffer via the trusted mutator.
+    """
+    instance = state.instance
+    candidates = deletions.get(target)
+    victims: List[int] = []
+    free = state.free_array()
+    size = float(instance.sizes[obj])
+    benefits: List[float] = []
+    while free[target] + CAPACITY_EPS < size:
+        assert candidates, (
+            f"no superfluous replica left at S_{target} while O_{obj} "
+            "does not fit; X_new would violate its capacity"
+        )
+        if not victims:
+            benefits = [benefit_cache.get(target, k) for k in candidates]
+        best_pos, best_benefit = 0, None
+        for pos, benefit in enumerate(benefits):
+            if best_benefit is None or benefit < best_benefit:
+                best_pos, best_benefit = pos, benefit
+        victim = candidates.pop(best_pos)
+        benefits.pop(best_pos)
+        state.apply_delete_trusted(target, victim)
+        buf.append_delete(target, victim)
+        victims.append(victim)
+    counters.evicted(len(victims))
+    return victims
+
+
+def _flush_deletions(
+    buf: FlatActionBuffer,
+    state: SystemState,
+    deletions: Dict[int, List[int]],
+    gen,
+) -> None:
+    """Flat twin of :func:`~repro.core.builders.common.flush_deletions`
+    (same leftover order, same shuffle stream)."""
+    leftovers = [
+        (server, obj) for server, objs in deletions.items() for obj in objs
+    ]
+    gen.shuffle(leftovers)
+    for server, obj in leftovers:
+        state.apply_delete_trusted(server, obj)
+        buf.append_delete(server, obj)
+    deletions.clear()
+
+
+#: Same crossover as ``PendingTransferSelector._SCALAR_BLOCK``: below
+#: this ``pending x candidates`` block size the Python scan beats the
+#: NumPy gather's per-call overhead.
+_SCALAR_BLOCK = 128
+
+
+def _cheapest_target(
+    state: SystemState, pend: List[int], obj: int
+) -> int:
+    """First-minimum position of the cheapest pending target of ``obj``.
+
+    Adaptive like the selector refresh: a scalar scan for tiny blocks
+    (the common case at the paper's replica counts), one padded gather +
+    row-min over ``pend x (holders + dummy)`` otherwise. Both keep the
+    first minimum exactly like the reference's ``unit < best_unit``
+    scan, and the candidate multisets match the reference's
+    ``nearest_cost`` calls, so the chosen position is identical.
+    """
+    holders = state.index.holders(obj)
+    dummy = state.dummy
+    costs = state.instance.costs
+    if len(pend) * (len(holders) + 1) <= _SCALAR_BLOCK:
+        best_pos, best_unit = 0, None
+        for pos, t in enumerate(pend):
+            row = costs[t]
+            unit = row[dummy]
+            for j in holders:
+                c = row[j]
+                if c < unit:
+                    unit = c
+            if best_unit is None or unit < best_unit:
+                best_pos, best_unit = pos, unit
+        return best_pos
+    rows = np.asarray(pend, dtype=np.intp)
+    cand = np.full((len(pend), 1 + len(holders)), dummy, dtype=np.intp)
+    if holders:
+        cand[:, 1:] = list(holders)
+    units = costs[rows[:, None], cand].min(axis=1)
+    return int(np.argmin(units))
+
+
+def flat_golcf(instance: RtspInstance, rng=None) -> FlatSchedule:
+    """Flat GOLCF (cheapest object served whole; see ``golcf.py``)."""
+    gen = ensure_rng(rng)
+    state = SystemState(instance)
+    counters = _BuildCounters()
+    out, sup = instance.diff_counts()
+    buf = FlatActionBuffer(out + sup)
+    targets, waiting = pending_transfer_map(instance, gen)
+    deletions = pending_deletion_map(instance, gen)
+    selector = FlatTransferSelector(state, targets)
+    benefits = EvictionBenefitCache(state, waiting)
+    while not selector.exhausted:
+        best_obj, _, _ = selector.best()
+        pend = targets.pop(best_obj)
+        selector.pop_object(best_obj)
+        obj_waiting = waiting[best_obj]
+        while pend:
+            best_pos = _cheapest_target(state, pend, best_obj)
+            target = pend.pop(best_pos)
+            victims = _evict_for(
+                buf, state, counters, target, best_obj, deletions, benefits
+            )
+            if victims:
+                selector.mark_dirty_many(victims)
+            _deliver(buf, state, counters, target, best_obj)
+            obj_waiting.discard(target)
+    _flush_deletions(buf, state, deletions, gen)
+    return FlatSchedule(buf)
+
+
+def flat_gmc(instance: RtspInstance, rng=None) -> FlatSchedule:
+    """Flat GMC (globally cheapest pending transfer; see ``gmc.py``)."""
+    gen = ensure_rng(rng)
+    state = SystemState(instance)
+    counters = _BuildCounters()
+    out, sup = instance.diff_counts()
+    buf = FlatActionBuffer(out + sup)
+    targets, waiting = pending_transfer_map(instance, gen)
+    deletions = pending_deletion_map(instance, gen)
+    selector = FlatTransferSelector(state, targets)
+    benefits = EvictionBenefitCache(state, waiting)
+    while not selector.exhausted:
+        best_obj, best_pos, target = selector.best()
+        selector.pop_target(best_obj, best_pos)
+        victims = _evict_for(
+            buf, state, counters, target, best_obj, deletions, benefits
+        )
+        if victims:
+            selector.mark_dirty_many(victims)
+        _deliver(buf, state, counters, target, best_obj)
+        selector.mark_dirty(best_obj)
+        waiting[best_obj].discard(target)
+    _flush_deletions(buf, state, deletions, gen)
+    return FlatSchedule(buf)
+
+
+def flat_ar(instance: RtspInstance, rng=None) -> FlatSchedule:
+    """Flat AR (uniform draw over valid pending actions; see ``ar.py``)."""
+    gen = ensure_rng(rng)
+    state = SystemState(instance)
+    counters = _BuildCounters()
+    deletions = shuffled_pairs(instance.superfluous(), gen)
+    transfers = shuffled_pairs(instance.outstanding(), gen)
+    buf = FlatActionBuffer(len(deletions) + len(transfers))
+    t_target = np.fromiter(
+        (t for t, _ in transfers), dtype=np.intp, count=len(transfers)
+    )
+    t_obj = np.fromiter(
+        (k for _, k in transfers), dtype=np.intp, count=len(transfers)
+    )
+    t_size = instance.sizes[t_obj]
+    alive = np.ones(len(transfers), dtype=bool)
+    n_alive = len(transfers)
+    free = state.free_array()
+    while deletions or n_alive:
+        ready = np.flatnonzero(
+            alive & (free[t_target] + CAPACITY_EPS >= t_size)
+        )
+        total = len(deletions) + ready.size
+        assert total, (
+            "AR is stuck: transfers pending without space and no "
+            "deletion left; X_new would violate a capacity"
+        )
+        draw = int(gen.integers(total))
+        if draw < len(deletions):
+            server, obj = deletions.pop(draw)
+            state.apply_delete_trusted(server, obj)
+            buf.append_delete(server, obj)
+        else:
+            pos = int(ready[draw - len(deletions)])
+            alive[pos] = False
+            n_alive -= 1
+            _deliver(
+                buf, state, counters, int(t_target[pos]), int(t_obj[pos])
+            )
+    return FlatSchedule(buf)
+
+
+def flat_rdf(instance: RtspInstance, rng=None) -> FlatSchedule:
+    """Flat RDF (all deletions first, then transfers; see ``rdf.py``)."""
+    gen = ensure_rng(rng)
+    state = SystemState(instance)
+    counters = _BuildCounters()
+    deletions = shuffled_pairs(instance.superfluous(), gen)
+    transfers = shuffled_pairs(instance.outstanding(), gen)
+    buf = FlatActionBuffer(len(deletions) + len(transfers))
+    for server, obj in deletions:
+        state.apply_delete_trusted(server, obj)
+        buf.append_delete(server, obj)
+    for target, obj in transfers:
+        _deliver(buf, state, counters, target, obj)
+    return FlatSchedule(buf)
+
+
+def flat_gsdf(instance: RtspInstance, rng=None) -> FlatSchedule:
+    """Flat GSDF (per-server delete/fetch groups; see ``gsdf.py``)."""
+    gen = ensure_rng(rng)
+    state = SystemState(instance)
+    counters = _BuildCounters()
+    superfluous = instance.superfluous()
+    outstanding = instance.outstanding()
+    out, sup = instance.diff_counts()
+    buf = FlatActionBuffer(out + sup)
+    order = list(range(instance.num_servers))
+    gen.shuffle(order)
+    for server in order:
+        dels = [
+            (server, int(k)) for k in np.flatnonzero(superfluous[server])
+        ]
+        gen.shuffle(dels)
+        for srv, obj in dels:
+            state.apply_delete_trusted(srv, obj)
+            buf.append_delete(srv, obj)
+        incoming = [int(k) for k in np.flatnonzero(outstanding[server])]
+        gen.shuffle(incoming)
+        for obj in incoming:
+            _deliver(buf, state, counters, server, obj)
+    return FlatSchedule(buf)
+
+
+_FLAT_BUILDERS = {
+    "GOLCF": flat_golcf,
+    "GMC": flat_gmc,
+    "AR": flat_ar,
+    "RDF": flat_rdf,
+    "GSDF": flat_gsdf,
+}
+
+
+def flat_builder_names() -> List[str]:
+    """Builders with a flat implementation."""
+    return sorted(_FLAT_BUILDERS)
+
+
+def flat_build(
+    name: str, instance: RtspInstance, rng=None
+) -> FlatSchedule:
+    """Run builder ``name``'s flat implementation.
+
+    Byte-identical to ``get_builder(name).build(instance, rng=rng)``.
+    """
+    try:
+        build = _FLAT_BUILDERS[name.upper()]
+    except KeyError:
+        raise ConfigurationError(
+            f"no flat implementation for builder {name!r}; "
+            f"available: {flat_builder_names()}"
+        ) from None
+    return build(instance, rng=rng)

@@ -1,0 +1,74 @@
+"""Flat-core selection policy.
+
+The flat builder core (:mod:`repro.flat.builders`) produces schedules
+byte-identical to the reference object path, so switching between them
+is purely a performance decision. Resolution order:
+
+1. an explicit :func:`set_flat_mode` call (the experiments CLI's
+   ``--flat`` flag lands here);
+2. the ``RTSP_FLAT`` environment variable (``auto`` / ``on`` / ``off``,
+   with ``1``/``0`` accepted as aliases);
+3. the default, ``auto``: use the flat core once the instance has at
+   least :data:`FLAT_AUTO_CELLS` placement cells (``M x N``). Below the
+   threshold the reference path's per-call overhead is negligible and
+   its metrics instrumentation (candidate-scan counters) stays exactly
+   as the observability tests expect.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.model.instance import RtspInstance
+from repro.util.errors import ConfigurationError
+
+#: ``M x N`` placement-cell count at which ``auto`` switches to the
+#: flat core (~100 servers x 500 objects).
+FLAT_AUTO_CELLS = 50_000
+
+_MODES = ("auto", "on", "off")
+_ALIASES = {"1": "on", "0": "off", "true": "on", "false": "off"}
+_mode: Optional[str] = None
+
+
+def set_flat_mode(mode: Optional[str]) -> None:
+    """Force the flat-core policy for this process.
+
+    ``None`` restores environment/default resolution.
+    """
+    global _mode
+    if mode is None:
+        _mode = None
+        return
+    normalized = _ALIASES.get(str(mode).lower(), str(mode).lower())
+    if normalized not in _MODES:
+        raise ConfigurationError(
+            f"flat mode must be one of {_MODES}, got {mode!r}"
+        )
+    _mode = normalized
+
+
+def flat_mode() -> str:
+    """The currently-resolved policy (``auto``/``on``/``off``)."""
+    if _mode is not None:
+        return _mode
+    env = os.environ.get("RTSP_FLAT")
+    if env is None:
+        return "auto"
+    normalized = _ALIASES.get(env.lower(), env.lower())
+    if normalized not in _MODES:
+        raise ConfigurationError(
+            f"RTSP_FLAT must be one of {_MODES} (or 1/0), got {env!r}"
+        )
+    return normalized
+
+
+def use_flat(instance: RtspInstance) -> bool:
+    """Whether builders should take the flat path for ``instance``."""
+    mode = flat_mode()
+    if mode == "on":
+        return True
+    if mode == "off":
+        return False
+    return instance.num_servers * instance.num_objects >= FLAT_AUTO_CELLS

@@ -1,0 +1,104 @@
+"""Wave-batched pending-transfer selector for the flat core.
+
+:class:`FlatTransferSelector` shares layout and tie-breaking with the
+reference :class:`~repro.core.builders.common.PendingTransferSelector`
+(one flat cost array in work-list order, first-minimum ``argmin``), but
+replaces the per-object refresh loop with a single batched refresh per
+query wave: all dirty objects' pending entries are concatenated, their
+candidate source sets are padded into one rectangular block, and one
+gather + one masked row-min prices every stale slice at once.
+
+Padding uses the dummy server: it is already a candidate for every
+entry, its cost strictly exceeds every real link cost (paper §3.3), and
+duplicating it cannot change a minimum — so the padded row-min equals
+the scalar scan's result bit-for-bit. No object is promoted to the
+nearest-source index's cached regime; at the paper's replica counts the
+holder sets are tiny and the padded block stays narrow.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.builders.common import PendingTransferSelector
+
+__all__ = ["FlatTransferSelector"]
+
+
+class FlatTransferSelector(PendingTransferSelector):
+    """Reference selector semantics with one batched refresh per wave."""
+
+    def mark_dirty_many(self, objs: Iterable[int]) -> None:
+        """Batch :meth:`mark_dirty` (replicator sets changed)."""
+        pend = self._pend
+        dirty = self._dirty
+        for obj in objs:
+            if obj in pend:
+                dirty.add(obj)
+
+    def _refresh_wave(self) -> None:
+        """Reprice every dirty object's slice, batching the big ones.
+
+        Adaptive like the parent's per-object refresh: objects whose
+        ``pending x candidates`` block fits in ``_SCALAR_BLOCK`` go
+        through the inherited scalar refresh (NumPy per-call overhead
+        would dominate), and the rest are concatenated into one padded
+        gather + row-min.
+        """
+        dirty = [obj for obj in self._dirty if self._pend.get(obj)]
+        self._dirty.clear()
+        if not dirty:
+            return
+        index = self._index
+        dummy = self._dummy
+        wave = []
+        width = 0
+        total = 0
+        for obj in dirty:
+            holders = index.holders(obj)
+            n = len(self._pend[obj])
+            if n * (len(holders) + 1) <= self._SCALAR_BLOCK:
+                self._refresh_obj(obj)
+                continue
+            wave.append((obj, holders, n))
+            width = max(width, 1 + len(holders))
+            total += n
+        if not wave:
+            return
+        rows = np.empty(total, dtype=np.intp)      # pending targets
+        dst = np.empty(total, dtype=np.intp)       # slots in self._cost
+        sizes = np.empty(total, dtype=np.float64)  # object sizes
+        cand = np.full((total, width), dummy, dtype=np.intp)
+        if self._c_scanned is not None:
+            self._c_refreshes.value += len(wave)
+        pos = 0
+        for obj, holders, n in wave:
+            base = self._starts[self._slot[obj]]
+            rows[pos : pos + n] = self._pend[obj]
+            dst[pos : pos + n] = np.arange(base, base + n)
+            sizes[pos : pos + n] = float(self._sizes[obj])
+            if holders:
+                cand[pos : pos + n, 1 : 1 + len(holders)] = list(holders)
+            if self._c_scanned is not None:
+                self._c_scanned.value += n * (len(holders) + 1)
+            pos += n
+        # One gather + one row-min prices the whole wave. Every row's
+        # candidate multiset is {dummy (>= once)} ∪ holders — exactly
+        # the scalar scan's candidates — so the min value is identical.
+        block = self._costs[rows[:, None], cand]
+        self._cost[dst] = sizes * block.min(axis=1)
+
+    def best(self):
+        """``(obj, position, target)`` of the cheapest pending transfer."""
+        if self._c_queries is not None:
+            self._c_queries.value += 1
+        if self._dirty:
+            self._refresh_wave()
+        idx = int(np.argmin(self._cost))
+        slot = bisect_right(self._starts, idx) - 1
+        obj = self._objs[slot]
+        pos = idx - self._starts[slot]
+        return obj, pos, self._pend[obj][pos]

@@ -54,6 +54,12 @@ class RtspInstance:
     costs: np.ndarray
     x_old: np.ndarray
     x_new: np.ndarray
+    #: Lazily-filled cache of derived read-only views (outstanding /
+    #: superfluous masks). Excluded from equality/repr; safe on a frozen
+    #: dataclass because the dict itself is mutated, never reassigned.
+    _derived: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     # constructors
@@ -89,6 +95,12 @@ class RtspInstance:
                 f"expected {m} server capacities, got {capacities.shape[0]}"
             )
         costs = np.asarray(costs, dtype=np.float64)
+        if costs.size and np.isnan(costs).any():
+            # NaN poisons the adaptive query paths inconsistently: a
+            # scalar ``c < best`` scan skips NaN while a vectorized
+            # ``argmin`` selects it, so the two regimes would return
+            # different sources. Reject at the boundary instead.
+            raise ConfigurationError("cost matrix must not contain NaN")
         if costs.shape == (m, m):
             costs = extend_with_dummy(costs, a=dummy_constant)
         elif costs.shape != (m + 1, m + 1):
@@ -136,12 +148,30 @@ class RtspInstance:
     # derived views
     # ------------------------------------------------------------------
     def outstanding(self) -> np.ndarray:
-        """0/1 mask of replicas to create (``X_new`` minus ``X_old``)."""
-        return outstanding_mask(self.x_old, self.x_new)
+        """0/1 mask of replicas to create (``X_new`` minus ``X_old``).
+
+        The mask is computed once and cached as a read-only array (every
+        builder asks for it, and at fleet scale recomputing it dominated
+        setup time).
+        """
+        mask = self._derived.get("outstanding")
+        if mask is None:
+            mask = outstanding_mask(self.x_old, self.x_new)
+            mask.setflags(write=False)
+            self._derived["outstanding"] = mask
+        return mask
 
     def superfluous(self) -> np.ndarray:
-        """0/1 mask of replicas to delete (``X_old`` minus ``X_new``)."""
-        return superfluous_mask(self.x_old, self.x_new)
+        """0/1 mask of replicas to delete (``X_old`` minus ``X_new``).
+
+        Cached read-only, like :meth:`outstanding`.
+        """
+        mask = self._derived.get("superfluous")
+        if mask is None:
+            mask = superfluous_mask(self.x_old, self.x_new)
+            mask.setflags(write=False)
+            self._derived["superfluous"] = mask
+        return mask
 
     def diff_counts(self):
         """``(num_outstanding, num_superfluous)``."""

@@ -441,10 +441,20 @@ class NearestSourceIndex:
         if served.size == 0:
             return 0.0
         second = self._best2[obj][served]
-        return float(
-            size
-            * np.sum(self._costs[served, second] - self._costs[served, server])
+        # Bit-identical to the cold path above: multiply each term by
+        # ``size`` *before* summing and accumulate sequentially in
+        # waiting-set order (``served`` preserves it). A vectorized
+        # ``size * np.sum(...)`` rounds differently in the last ulp on
+        # fractional costs, and that ulp can flip an eviction-victim
+        # tie — the adaptive hot/cold switch must never change the
+        # schedule.
+        terms = size * (
+            self._costs[served, second] - self._costs[served, server]
         )
+        total = 0.0
+        for term in terms.tolist():
+            total += term
+        return total
 
     # ------------------------------------------------------------------
     # lifecycle

@@ -48,11 +48,43 @@ class ValidationReport:
     dummy_transfers: int
 
 
+#: Action-kind codes used by the flat (structure-of-arrays) encoding.
+KIND_TRANSFER = 0
+KIND_DELETE = 1
+
+
+def actions_from_arrays(kinds, primary, objs, sources) -> List[Action]:
+    """Materialize a flat action encoding into action objects.
+
+    The columns are parallel integer sequences: ``kinds[i]`` is
+    :data:`KIND_TRANSFER` or :data:`KIND_DELETE`, ``primary[i]`` the
+    transfer target / deletion server, ``objs[i]`` the object, and
+    ``sources[i]`` the transfer source (ignored for deletions). NumPy
+    inputs should be passed through ``.tolist()`` by the caller so the
+    dataclasses hold plain Python ints (JSON round-trips and reprs stay
+    identical to object-built schedules); this function accepts any
+    integer sequences.
+    """
+    transfer = KIND_TRANSFER
+    return [
+        Transfer(a, k, j) if kind == transfer else Delete(a, k)
+        for kind, a, k, j in zip(kinds, primary, objs, sources)
+    ]
+
+
 class Schedule:
     """Mutable ordered sequence of :class:`Transfer`/:class:`Delete` actions."""
 
     def __init__(self, actions: Iterable[Action] = ()) -> None:
         self._actions: List[Action] = list(actions)
+
+    @classmethod
+    def from_arrays(cls, kinds, primary, objs, sources) -> "Schedule":
+        """Build a schedule from the flat encoding (see
+        :func:`actions_from_arrays`)."""
+        schedule = cls.__new__(cls)
+        schedule._actions = actions_from_arrays(kinds, primary, objs, sources)
+        return schedule
 
     # ------------------------------------------------------------------
     # sequence protocol

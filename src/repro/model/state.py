@@ -55,12 +55,63 @@ class SystemState:
         )
         if self._free.min(initial=0.0) < -CAPACITY_EPS:
             raise InvalidActionError("starting placement violates capacities")
+        # Exact free-space ledger. Accumulating float deltas drifts past
+        # CAPACITY_EPS over enough evict/deliver cycles, so the published
+        # ``_free`` array is never float-accumulated directly:
+        #
+        # * integral sizes+capacities (the common case — the paper's
+        #   workloads and the scaling benchmarks use whole data units):
+        #   an int64 ledger is updated and mirrored into ``_free``, so
+        #   every published value is exact;
+        # * fractional inputs: Neumaier compensated summation over the
+        #   deltas, published as ``raw + compensation`` after every
+        #   mutation, keeping the error at a single rounding instead of
+        #   a random walk.
+        sizes = instance.sizes
+        exact = bool(
+            np.all(sizes == np.floor(sizes))
+            and np.all(instance.capacities == np.floor(instance.capacities))
+            and (sizes.size == 0 or float(sizes.max()) < 2**53)
+            and (
+                instance.capacities.size == 0
+                or float(instance.capacities.max()) < 2**53
+            )
+        )
+        if exact:
+            self._sizes_int = sizes.astype(np.int64)
+            self._free_int = np.rint(self._free).astype(np.int64)
+            self._free[:] = self._free_int
+            self._free_comp = None
+        else:
+            self._sizes_int = None
+            self._free_int = None
+            self._free_comp = np.zeros_like(self._free)
+            self._free_raw = self._free.copy()
         self._replicators: List[Set[int]] = [
             set(np.flatnonzero(self._holds[:, k]).tolist()) for k in range(n)
         ]
         self._index = NearestSourceIndex(
             instance, self._holds, self._replicators
         )
+
+    # ------------------------------------------------------------------
+    # free-space ledger (exact; see __init__)
+    # ------------------------------------------------------------------
+    def _free_add(self, server: int, obj: int, sign: int) -> None:
+        """Adjust ``server``'s free space by ``sign * sizes[obj]`` exactly."""
+        if self._free_int is not None:
+            self._free_int[server] += sign * self._sizes_int[obj]
+            self._free[server] = self._free_int[server]
+            return
+        delta = sign * float(self.instance.sizes[obj])
+        raw = float(self._free_raw[server])
+        total = raw + delta
+        if abs(raw) >= abs(delta):
+            self._free_comp[server] += (raw - total) + delta
+        else:
+            self._free_comp[server] += (delta - total) + raw
+        self._free_raw[server] = total
+        self._free[server] = total + self._free_comp[server]
 
     # ------------------------------------------------------------------
     # queries
@@ -212,17 +263,36 @@ class SystemState:
                 f"invalid action {action}: {reason}", action=action, position=position
             )
         if isinstance(action, Transfer):
-            i, k = action.target, action.obj
-            self._holds[i, k] = 1
-            self._free[i] -= self.instance.sizes[k]
-            self._replicators[k].add(i)
-            self._index.add_holder(k, i)
+            self.apply_transfer_trusted(action.target, action.obj)
         else:
-            i, k = action.server, action.obj
-            self._holds[i, k] = 0
-            self._free[i] += self.instance.sizes[k]
-            self._replicators[k].discard(i)
-            self._index.remove_holder(k, i)
+            self.apply_delete_trusted(action.server, action.obj)
+
+    def apply_transfer_trusted(self, target: int, obj: int) -> None:
+        """Record a transfer of ``obj`` onto ``target`` without validation.
+
+        The trusted fast path for the flat builder core
+        (:mod:`repro.flat`): no :class:`Transfer` object is allocated and
+        no validity check runs, so the caller must guarantee the paper's
+        transfer preconditions (a live source exists, ``target`` lacks
+        the replica and has room). The state mutation — including the
+        exact free-space ledger and the nearest-source index — is
+        identical to :meth:`apply`.
+        """
+        self._holds[target, obj] = 1
+        self._free_add(target, obj, -1)
+        self._replicators[obj].add(target)
+        self._index.add_holder(obj, target)
+
+    def apply_delete_trusted(self, server: int, obj: int) -> None:
+        """Record a deletion at ``server`` without validation.
+
+        Trusted counterpart of :meth:`apply_transfer_trusted`; the caller
+        must guarantee ``server`` currently replicates ``obj``.
+        """
+        self._holds[server, obj] = 0
+        self._free_add(server, obj, 1)
+        self._replicators[obj].discard(server)
+        self._index.remove_holder(obj, server)
 
     def _check_undoable(self, action: Action, mutated_server: int) -> None:
         """Shared bounds/dummy guard for both ``undo`` branches.
@@ -254,10 +324,7 @@ class SystemState:
             self._check_undoable(action, i)
             if not self._holds[i, k]:
                 raise InvalidActionError(f"cannot undo {action}: replica absent")
-            self._holds[i, k] = 0
-            self._free[i] += self.instance.sizes[k]
-            self._replicators[k].discard(i)
-            self._index.remove_holder(k, i)
+            self.apply_delete_trusted(i, k)
         elif isinstance(action, Delete):
             i, k = action.server, action.obj
             self._check_undoable(action, i)
@@ -265,10 +332,7 @@ class SystemState:
                 raise InvalidActionError(f"cannot undo {action}: replica present")
             if self._free[i] + CAPACITY_EPS < self.instance.sizes[k]:
                 raise InvalidActionError(f"cannot undo {action}: no space left")
-            self._holds[i, k] = 1
-            self._free[i] -= self.instance.sizes[k]
-            self._replicators[k].add(i)
-            self._index.add_holder(k, i)
+            self.apply_transfer_trusted(i, k)
         else:
             raise InvalidActionError(f"unknown action type {type(action).__name__}")
 
@@ -308,6 +372,14 @@ class SystemState:
         dup._dummy = self._dummy
         dup._holds = self._holds.copy()
         dup._free = self._free.copy()
+        dup._sizes_int = self._sizes_int
+        if self._free_int is not None:
+            dup._free_int = self._free_int.copy()
+            dup._free_comp = None
+        else:
+            dup._free_int = None
+            dup._free_comp = self._free_comp.copy()
+            dup._free_raw = self._free_raw.copy()
         dup._replicators = [set(s) for s in self._replicators]
         dup._index = self._index.copy(dup._holds, dup._replicators)
         return dup

@@ -19,7 +19,9 @@ def check_binary_matrix(x: np.ndarray, name: str = "matrix") -> np.ndarray:
     arr = np.asarray(x)
     if arr.ndim != 2:
         raise ConfigurationError(f"{name} must be 2-D, got shape {arr.shape}")
-    if arr.size and not np.isin(arr, (0, 1)).all():
+    # Elementwise compare instead of np.isin: same predicate, ~50x faster
+    # on the large 0/1 matrices the scaling benchmarks feed through here.
+    if arr.size and not ((arr == 0) | (arr == 1)).all():
         raise ConfigurationError(f"{name} must contain only 0/1 entries")
     return arr.astype(np.int8, copy=False)
 

@@ -1,0 +1,155 @@
+"""FlatActionBuffer / FlatSchedule unit tests (arena storage layer)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.flat import FlatActionBuffer, FlatSchedule
+from repro.model.actions import Delete, Transfer
+from repro.model.instance import RtspInstance
+from repro.model.schedule import (
+    KIND_DELETE,
+    KIND_TRANSFER,
+    Schedule,
+    actions_from_arrays,
+)
+
+
+def _fill(buf: FlatActionBuffer):
+    buf.append_transfer(2, 7, 1)
+    buf.append_delete(0, 3)
+    buf.append_transfer(1, 7, 2)
+    return [Transfer(2, 7, 1), Delete(0, 3), Transfer(1, 7, 2)]
+
+
+def test_round_trip_to_actions():
+    buf = FlatActionBuffer()
+    expected = _fill(buf)
+    assert buf.to_actions() == expected
+    assert len(buf) == 3
+
+
+def test_growth_preserves_prefix():
+    buf = FlatActionBuffer(capacity=1)  # clamped to the minimum, then doubles
+    expected = []
+    for i in range(100):
+        buf.append_transfer(i, i + 1, i + 2)
+        expected.append(Transfer(i, i + 1, i + 2))
+    assert len(buf) == 100
+    assert buf.to_actions() == expected
+
+
+def test_materialized_fields_are_plain_python_ints():
+    buf = FlatActionBuffer()
+    _fill(buf)
+    for action in buf.to_actions():
+        if isinstance(action, Transfer):
+            fields = (action.target, action.obj, action.source)
+        else:
+            fields = (action.server, action.obj)
+        for value in fields:
+            assert type(value) is int, f"{action}: {type(value)}"
+
+
+def test_columns_are_read_only_and_trimmed():
+    buf = FlatActionBuffer(capacity=64)
+    _fill(buf)
+    kind, primary, obj, source = buf.columns()
+    assert kind.shape == (3,)
+    assert kind.tolist() == [KIND_TRANSFER, KIND_DELETE, KIND_TRANSFER]
+    assert primary.tolist() == [2, 0, 1]
+    with pytest.raises(ValueError):
+        kind[0] = KIND_DELETE
+
+
+def test_transfer_mask():
+    buf = FlatActionBuffer()
+    _fill(buf)
+    assert buf.transfer_mask().tolist() == [True, False, True]
+
+
+def test_actions_from_arrays_and_schedule_from_arrays():
+    kinds = [KIND_TRANSFER, KIND_DELETE]
+    actions = actions_from_arrays(kinds, [4, 2], [9, 9], [1, 0])
+    assert actions == [Transfer(4, 9, 1), Delete(2, 9)]
+    sched = Schedule.from_arrays(kinds, [4, 2], [9, 9], [1, 0])
+    assert sched.actions() == actions
+
+
+@pytest.fixture
+def tiny():
+    x_old = np.array([[1, 0], [0, 1], [0, 0]], dtype=np.int8)
+    x_new = np.array([[0, 0], [0, 1], [1, 0]], dtype=np.int8)
+    costs = np.array([[0.0, 1.0, 2.0], [1.0, 0.0, 1.0], [2.0, 1.0, 0.0]])
+    return RtspInstance.create(
+        [1.0, 1.0], [2.0, 2.0, 2.0], costs, x_old, x_new
+    )
+
+
+def test_flat_schedule_is_lazy_until_iterated(tiny):
+    buf = FlatActionBuffer()
+    buf.append_transfer(2, 0, 0)
+    buf.append_delete(0, 0)
+    sched = FlatSchedule(buf)
+    assert not sched.materialized
+    assert len(sched) == 2            # answered from the arena
+    assert sched.cost(tiny) == 2.0    # vectorized, still lazy
+    assert not sched.materialized
+    assert list(sched) == [Transfer(2, 0, 0), Delete(0, 0)]
+    assert sched.materialized
+    assert len(sched) == 2
+
+
+def test_flat_schedule_validates_and_edits_like_a_schedule(tiny):
+    buf = FlatActionBuffer()
+    buf.append_transfer(2, 0, 0)
+    buf.append_delete(0, 0)
+    sched = FlatSchedule(buf)
+    report = sched.validate(tiny)
+    assert report.ok
+    assert report.cost == 2.0
+    # Post-materialization edits behave like a plain Schedule.
+    sched.append(Delete(1, 1))
+    assert len(sched) == 3
+    assert not sched.validate(tiny).ok  # S1 must keep O1 under X_new
+
+
+def test_flat_schedule_equality_with_object_schedule(tiny):
+    buf = FlatActionBuffer()
+    buf.append_transfer(2, 0, 0)
+    obj_sched = Schedule([Transfer(2, 0, 0)])
+    assert FlatSchedule(buf) == obj_sched
+
+
+def test_flat_schedule_pickles(tiny):
+    buf = FlatActionBuffer()
+    buf.append_transfer(2, 0, 0)
+    sched = FlatSchedule(buf)
+    clone = pickle.loads(pickle.dumps(sched))
+    assert clone.actions() == sched.actions()
+
+
+def test_flat_cost_matches_object_cost_bitwise_on_fractional_data():
+    rng = np.random.default_rng(9)
+    m, n = 6, 30
+    sizes = rng.uniform(0.1, 3.0, size=n)
+    costs = rng.uniform(0.1, 7.0, size=(m, m))
+    costs = (costs + costs.T) / 2
+    np.fill_diagonal(costs, 0.0)
+    x_old = np.zeros((m, n), dtype=np.int8)
+    x_new = np.zeros((m, n), dtype=np.int8)
+    x_old[0, 0] = x_new[0, 0] = 1
+    caps = np.full(m, 1e9)
+    inst = RtspInstance.create(sizes, caps, costs, x_old, x_new)
+    buf = FlatActionBuffer()
+    ref = Schedule()
+    for k in range(n):
+        t = int(rng.integers(0, m))
+        s = inst.dummy
+        buf.append_transfer(t, k, s)
+        ref.append(Transfer(t, k, s))
+    flat = FlatSchedule(buf)
+    # Bit-identical, not approx: the arena cost accumulates in the same
+    # left-to-right order as the object path.
+    assert flat.cost(inst) == ref.cost(inst)

@@ -1,0 +1,152 @@
+"""Free-space accounting must not drift (regression for the ledger).
+
+Historically ``SystemState`` accumulated ``_free`` with bare float adds
+per action; over enough evict/deliver cycles on fractional sizes the
+accumulated error random-walks past ``CAPACITY_EPS`` and flips
+``has_space``/validity decisions. The ledger fixes this two ways:
+
+* integral sizes and capacities — an int64 ledger mirrored into the
+  published float array, so every value is *exact*;
+* fractional inputs — Neumaier compensated summation over the deltas,
+  keeping the published value within one rounding of the true sum no
+  matter how many actions land.
+
+These tests drive long apply/undo churn and compare the published free
+space against a from-scratch ``math.fsum`` recomputation.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.model.actions import Delete, Transfer
+from repro.model.instance import RtspInstance
+from repro.model.state import CAPACITY_EPS, SystemState
+
+
+def _true_free(state: SystemState, server: int) -> float:
+    """Free space recomputed from scratch with exact summation."""
+    inst = state.instance
+    held = np.flatnonzero(state.placement()[server]).tolist()
+    return float(inst.capacities[server]) - math.fsum(
+        float(inst.sizes[k]) for k in held
+    )
+
+
+def _churn(state: SystemState, server: int, objs, cycles: int) -> None:
+    """Repeatedly deliver and evict ``objs`` at ``server``."""
+    for _ in range(cycles):
+        for k in objs:
+            state.apply(Transfer(server, k, state.instance.dummy))
+        for k in objs:
+            state.apply(Delete(server, k))
+
+
+def test_integral_sizes_stay_exact_under_churn():
+    n = 6
+    sizes = np.array([1.0, 3.0, 7.0, 2.0, 5.0, 4.0])
+    x_old = np.zeros((2, n), dtype=np.int8)
+    x_new = np.zeros((2, n), dtype=np.int8)
+    x_new[1, 0] = x_old[1, 0] = 1  # keep the diff non-empty elsewhere
+    inst = RtspInstance.create(
+        sizes, [50.0, 50.0], np.zeros((2, 2)), x_old, x_new
+    )
+    state = SystemState(inst)
+    _churn(state, 0, range(n), cycles=5000)
+    # Exactly the starting value — not "close to".
+    assert state.free_space(0) == 50.0
+    assert float(state.free_space(0)) == _true_free(state, 0)
+
+
+def test_fractional_sizes_bounded_by_compensated_summation():
+    # Mixed magnitudes make naive accumulation drift fast: each
+    # +big/-big cycle loses the small object's low bits. 20k cycles of
+    # the old code drifts by ~1e-6 > CAPACITY_EPS; the compensated
+    # ledger stays within a few ulps of the fsum truth.
+    sizes = np.array([1e8 + 0.1, 0.1 + 2**-40, 3.7, 0.25 + 2**-45])
+    n = len(sizes)
+    x_old = np.zeros((2, n), dtype=np.int8)
+    x_new = np.zeros((2, n), dtype=np.int8)
+    x_old[1, 2] = x_new[1, 2] = 1
+    inst = RtspInstance.create(
+        sizes, [2e8, 2e8], np.zeros((2, 2)), x_old, x_new
+    )
+    state = SystemState(inst)
+    _churn(state, 0, range(n), cycles=20000)
+    truth = _true_free(state, 0)
+    err = abs(state.free_space(0) - truth)
+    assert err < 1e-7, f"published free space drifted by {err:g}"
+    # The drift bound must be far inside the capacity comparison slack,
+    # or has_space decisions become churn-history-dependent.
+    assert err < CAPACITY_EPS / 10
+
+
+def test_fractional_drift_regression_naive_accumulation_fails():
+    # Document the failure mode the ledger fixed: simulate the old
+    # ``_free[i] += delta`` accounting over the same action stream and
+    # show it drifts past what the ledger publishes.
+    sizes = np.array([1e8 + 0.1, 0.1 + 2**-40, 3.7, 0.25 + 2**-45])
+    n = len(sizes)
+    x_old = np.zeros((2, n), dtype=np.int8)
+    x_new = np.zeros((2, n), dtype=np.int8)
+    x_old[1, 2] = x_new[1, 2] = 1
+    inst = RtspInstance.create(
+        sizes, [2e8, 2e8], np.zeros((2, 2)), x_old, x_new
+    )
+    state = SystemState(inst)
+    naive = float(inst.capacities[0])
+    for _ in range(20000):
+        for k in range(n):
+            state.apply(Transfer(0, k, inst.dummy))
+            naive -= float(sizes[k])
+        for k in range(n):
+            state.apply(Delete(0, k))
+            naive += float(sizes[k])
+    truth = _true_free(state, 0)
+    naive_err = abs(naive - truth)
+    ledger_err = abs(state.free_space(0) - truth)
+    assert naive_err > CAPACITY_EPS, (
+        "churn no longer reproduces the drift this regression guards"
+    )
+    assert ledger_err < naive_err / 1000
+
+
+def test_undo_restores_exact_free_space():
+    sizes = np.array([2.5, 1.25, 0.3])
+    x_old = np.array([[1, 0, 1], [0, 1, 0]], dtype=np.int8)
+    x_new = np.array([[0, 1, 1], [1, 0, 0]], dtype=np.int8)
+    caps = np.array([10.0, 10.0])
+    inst = RtspInstance.create(
+        sizes, caps, np.zeros((2, 2)), x_old, x_new
+    )
+    state = SystemState(inst)
+    before = state.free_space(0)
+    action = Transfer(0, 1, inst.dummy)
+    for _ in range(1000):
+        state.apply(action)
+        state.undo(action)
+    assert state.free_space(0) == before
+
+
+def test_copy_preserves_ledger_kind():
+    frac = RtspInstance.create(
+        [0.5], [2.0, 2.0], np.zeros((2, 2)),
+        np.array([[1], [0]], dtype=np.int8),
+        np.array([[0], [1]], dtype=np.int8),
+    )
+    integral = RtspInstance.create(
+        [1.0], [2.0, 2.0], np.zeros((2, 2)),
+        np.array([[1], [0]], dtype=np.int8),
+        np.array([[0], [1]], dtype=np.int8),
+    )
+    for inst in (frac, integral):
+        state = SystemState(inst)
+        state.apply(Transfer(1, 0, 0))
+        dup = state.copy()
+        dup.apply(Delete(0, 0))
+        # The copy's ledger advanced; the original's did not.
+        assert state.free_space(0) != dup.free_space(0)
+        assert dup.free_space(0) == pytest.approx(
+            _true_free(dup, 0), abs=1e-12
+        )
