@@ -30,7 +30,7 @@ import time
 import numpy as np
 
 from repro.core.base import get_builder
-from repro.flat import flat_build, flat_builder_names, set_flat_mode
+from repro.flat import flat_build, flat_builder_names, flat_mode_override
 from repro.model.instance import RtspInstance
 
 #: tier name -> (num_servers, num_objects, timing rounds)
@@ -83,11 +83,10 @@ def run_tier(tier: str, seed: int, verbose: bool = True):
     inst = synth_instance(m, n, seed=seed)
     records = []
     for name in BUILDERS:
-        set_flat_mode("off")
-        t_ref, ref = _time(
-            lambda: get_builder(name).build(inst, rng=seed), rounds
-        )
-        set_flat_mode(None)
+        with flat_mode_override("off"):
+            t_ref, ref = _time(
+                lambda: get_builder(name).build(inst, rng=seed), rounds
+            )
         t_flat, flat = _time(lambda: flat_build(name, inst, rng=seed), rounds)
         if ref.actions() != flat.actions():
             raise AssertionError(

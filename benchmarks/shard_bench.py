@@ -1,0 +1,174 @@
+"""Sharded-planning benchmark: unsharded vs component shards vs pool.
+
+Standalone (no pytest-benchmark dependency) so CI's shard-smoke job and
+local runs share one entry point::
+
+    PYTHONPATH=src python benchmarks/shard_bench.py --tier small \
+        --out benchmarks/results/BENCH_shard_current.json
+
+Each tier composes ``blocks`` disconnected synthetic instances (the
+scale benchmark's generator) into one multi-component instance, then
+times three planning paths over the same composed instance:
+
+* ``unsharded`` — one global ``Pipeline.run``;
+* ``sharded-serial`` — ``plan_sharded(workers=1)``: partition, plan each
+  component with its derived seed, stitch, invariant-check;
+* ``sharded-pool`` — the same with a fork pool, so the delta against
+  ``sharded-serial`` is pure pool win/overhead.
+
+The two sharded runs are asserted byte-identical (the worker-count
+invariance contract), and the stitched schedule is invariant-checked by
+``plan_sharded`` itself, so the benchmark doubles as a differential
+check at sizes the unit suites never touch.
+
+Output follows the ``benchmarks/conftest.py`` JSON shape so
+``benchmarks/diff_results.py`` can diff runs against the committed
+``benchmarks/results/BENCH_shard.json`` baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from scale_bench import synth_instance
+
+from repro.core.pipeline import build_pipeline
+from repro.shard import compose_instances, plan_sharded
+
+#: tier name -> (blocks, servers per block, objects per block, rounds)
+TIERS = {
+    "small": (4, 10, 50, 5),
+    "medium": (8, 25, 250, 3),
+    "large": (16, 60, 600, 2),
+}
+
+PIPELINE = "GOLCF+H1"
+POOL_WORKERS = 4
+
+
+def _time(fn, rounds: int):
+    best, result = None, None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = fn()
+        dt = time.perf_counter() - t0
+        best = dt if best is None or dt < best else best
+    return best, result
+
+
+def run_tier(tier: str, seed: int, verbose: bool = True):
+    """Benchmark the three planning paths for one tier."""
+    blocks, m, n, rounds = TIERS[tier]
+    composed = compose_instances(
+        [
+            synth_instance(m, n, seed=seed * 1000 + block)
+            for block in range(blocks)
+        ]
+    )
+    pipeline = build_pipeline(PIPELINE)
+    # Timed runs skip the stitched invariant check (pure-Python, serial:
+    # it would swamp the planning deltas the benchmark exists to show);
+    # one validated run below keeps the differential guarantee.
+    t_plain, _ = _time(lambda: pipeline.run(composed, rng=seed), rounds)
+    t_serial, serial = _time(
+        lambda: plan_sharded(
+            composed, pipeline, workers=1, rng=seed, validate=False
+        ),
+        rounds,
+    )
+    t_pool, pooled = _time(
+        lambda: plan_sharded(
+            composed, pipeline, shards=POOL_WORKERS, workers=POOL_WORKERS,
+            rng=seed, validate=False,
+        ),
+        rounds,
+    )
+    if list(serial.schedule) != list(pooled.schedule):
+        raise AssertionError(
+            f"worker-count divergence: tier={tier} pipeline={PIPELINE}"
+        )
+    checked = plan_sharded(
+        composed, pipeline, shards=POOL_WORKERS, workers=POOL_WORKERS,
+        rng=seed,
+    )
+    if list(checked.schedule) != list(pooled.schedule):
+        raise AssertionError(f"validated-run divergence: tier={tier}")
+    records = []
+    for path, mean in (
+        ("unsharded", t_plain),
+        ("sharded-serial", t_serial),
+        ("sharded-pool", t_pool),
+    ):
+        records.append(
+            {
+                "name": f"shard[{tier}]/{PIPELINE}/{path}",
+                "stats": {"mean": mean},
+                "tier": tier,
+                "path": path,
+                "blocks": blocks,
+                "num_servers": composed.num_servers,
+                "num_objects": composed.num_objects,
+                "actions": pooled.num_actions,
+                "rounds": rounds,
+            }
+        )
+    if verbose:
+        print(
+            f"  {tier:6s} plain {t_plain:7.3f}s  serial {t_serial:7.3f}s  "
+            f"pool({POOL_WORKERS}) {t_pool:7.3f}s  "
+            f"({blocks} blocks, {pooled.num_actions} actions)",
+            flush=True,
+        )
+    return records
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tier",
+        default="all",
+        choices=sorted(TIERS) + ["all"],
+        help="composed-instance tier to run (default: all)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="instance + planning seed"
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="write results JSON here",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-tier lines"
+    )
+    args = parser.parse_args(argv)
+    tiers = sorted(TIERS) if args.tier == "all" else [args.tier]
+    benchmarks = []
+    for tier in tiers:
+        if not args.quiet:
+            blocks, m, n, _ = TIERS[tier]
+            print(
+                f"tier {tier}: {blocks} blocks x ({m} servers, {n} objects)",
+                flush=True,
+            )
+        benchmarks.extend(run_tier(tier, args.seed, verbose=not args.quiet))
+    payload = {
+        "format": "rtsp-bench-shard/1",
+        "seed": args.seed,
+        "pipeline": PIPELINE,
+        "benchmarks": benchmarks,
+    }
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,7 @@
 
 from repro.analysis.transfer_graph import (
     build_transfer_graph,
+    placement_components,
     transfer_graph_cycles,
     has_transfer_cycle,
 )
@@ -44,6 +45,7 @@ from repro.analysis.examples import (
 
 __all__ = [
     "build_transfer_graph",
+    "placement_components",
     "transfer_graph_cycles",
     "has_transfer_cycle",
     "FeasibilitySummary",

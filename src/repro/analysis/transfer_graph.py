@@ -83,6 +83,56 @@ def sole_source_arcs(instance: RtspInstance) -> List[Tuple[int, int, int]]:
     return out
 
 
+def placement_components(instance: RtspInstance) -> List[List[int]]:
+    """Server groups closed under every possible schedule interaction.
+
+    Two servers interact when some object has a replica (old or new) on
+    both: a transfer arc of the transfer graph connects an old holder to
+    a target, and a deletion at a co-holder can destroy a source another
+    server still needs. The undirected closure of those relations —
+    union-by-object-footprint — partitions the servers into groups no
+    valid action can cross, so each group, together with its objects, is
+    an independently plannable sub-instance (the shard boundary used by
+    :mod:`repro.shard`).
+
+    Every connected component of :func:`build_transfer_graph` is
+    contained in exactly one group (arcs never cross a footprint
+    boundary). Components are returned as sorted server-index lists,
+    ordered by their smallest server; servers that touch no object form
+    singleton components.
+
+    Implemented as a union-find sweep over the placement columns rather
+    than through networkx: at fleet scale the explicit multigraph (one
+    arc per source x target pair) is quadratically larger than the
+    footprint relation.
+    """
+    m = instance.num_servers
+    parent = list(range(m))
+
+    def find(i: int) -> int:
+        root = i
+        while parent[root] != root:
+            root = parent[root]
+        while parent[i] != root:  # path compression
+            parent[i], i = root, parent[i]
+        return root
+
+    footprint = (instance.x_old | instance.x_new).astype(bool)
+    for col in range(instance.num_objects):
+        holders = np.flatnonzero(footprint[:, col])
+        if holders.size < 2:
+            continue
+        first = find(int(holders[0]))
+        for other in holders[1:].tolist():
+            root = find(other)
+            if root != first:
+                parent[root] = first
+    groups: dict = {}
+    for server in range(m):
+        groups.setdefault(find(server), []).append(server)
+    return sorted(groups.values(), key=lambda servers: servers[0])
+
+
 def objects_without_source(instance: RtspInstance) -> Set[int]:
     """Outstanding objects with *no* replicator at all in ``X_old``.
 

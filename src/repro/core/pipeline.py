@@ -17,7 +17,7 @@ from repro.core.base import (
     get_optimizer,
 )
 from repro.model.instance import RtspInstance
-from repro.model.residual import residual_instance
+from repro.model.residual import is_residual_trivial, residual_instance
 from repro.model.schedule import Schedule
 from repro.obs.context import current_metrics, current_tracer
 from repro.obs.profile import StageProfiler
@@ -131,8 +131,17 @@ class Pipeline:
         valid against that residual, i.e. applying it to the mid-flight
         state reaches ``instance.x_new``. Used by
         :class:`repro.robust.RepairEngine` after every detected failure.
+
+        A trivial residual (``placement`` already equals ``X_new``)
+        short-circuits to an empty schedule without invoking any stage:
+        builders are entitled to assume there is work to do, and a
+        repair round whose fault wiped only already-superfluous replicas
+        must not pay (or crash in) a full pipeline run.
         """
-        return self.run(residual_instance(instance, placement), rng=rng)
+        residual = residual_instance(instance, placement)
+        if is_residual_trivial(residual):
+            return Schedule()
+        return self.run(residual, rng=rng)
 
     def _check(
         self, instance: RtspInstance, schedule: Schedule, stage: str

@@ -145,10 +145,6 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    if args.flat is not None:
-        from repro.flat import set_flat_mode
-
-        set_flat_mode(args.flat)
     scale = get_scale(args.scale)
     if args.seed is not None:
         from dataclasses import replace
@@ -166,6 +162,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     profile_report = None
     with ExitStack() as stack:
+        if args.flat is not None:
+            # Scoped override: the previous mode is restored even when a
+            # run raises, so embedders calling main() never inherit it.
+            from repro.flat import flat_mode_override
+
+            stack.enter_context(flat_mode_override(args.flat))
         stack.enter_context(observed(tracer=tracer, metrics=metrics))
         if args.profile:
             profile_report = stack.enter_context(profiled())

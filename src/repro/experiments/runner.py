@@ -14,10 +14,7 @@ serial run (verified by the test suite).
 
 from __future__ import annotations
 
-import multiprocessing
 import time
-import warnings
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -26,9 +23,10 @@ import numpy as np
 from repro.analysis.metrics import schedule_stats
 from repro.core.pipeline import build_pipeline
 from repro.experiments.config import ExperimentScale, FigureSpec
-from repro.obs.context import current_metrics, current_tracer, observed
+from repro.obs.context import current_metrics, current_tracer
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.trace import Span, Tracer
+from repro.obs.trace import Tracer
+from repro.shard.pool import WorkQueue
 from repro.timing.bandwidth import bandwidths_from_costs
 from repro.timing.executor import simulate_parallel
 from repro.util.rng import derive_seed
@@ -82,13 +80,6 @@ class FigureResult:
         raise KeyError((x, pipeline))
 
 
-#: Inherited by forked pool workers (set just before the pool starts, so
-#: the spec — which may close over non-picklable factories — never needs
-#: to cross a pickle boundary). The two booleans tell workers whether to
-#: record a metrics snapshot / a trace fragment for the parent to merge.
-_WORKER_CONTEXT: Optional[Tuple[FigureSpec, ExperimentScale, bool, bool]] = None
-
-
 def _cell_value(spec: FigureSpec, stats) -> float:
     return (
         float(stats.num_dummy_transfers)
@@ -102,67 +93,50 @@ def _execute_cell(
     scale: ExperimentScale,
     x: float,
     rep: int,
-    want_metrics: bool,
-    want_trace: bool,
-) -> Tuple[
-    Dict[str, Tuple[float, float]],
-    Optional[Dict[str, Any]],
-    Optional[List[Span]],
-]:
+) -> Dict[str, Tuple[float, float]]:
     """Run every pipeline of one ``(x, repetition)`` cell.
 
     Seeds are derived exactly as in the serial loop, so the produced
-    values are independent of which worker runs the task and when. When
-    observability is requested the cell records into a *fresh* registry /
-    tracer fragment (returned as a snapshot / span list for the caller to
-    merge), so the aggregated stream only depends on merge order — which
-    the caller keeps deterministic — never on worker count. Observed
-    cells additionally dry-run each schedule through
-    :func:`~repro.timing.executor.simulate_parallel` (an obs-only extra
-    pass — it never touches the reported values), so executor queue /
-    in-flight samples appear in figure metrics too.
+    values are independent of which worker runs the task and when.
+    Observability comes from the *ambient* context: the work queue
+    installs a fresh registry / tracer fragment per task (merged back in
+    deterministic order), so the aggregated stream never depends on
+    worker count. Observed cells additionally dry-run each schedule
+    through :func:`~repro.timing.executor.simulate_parallel` (an
+    obs-only extra pass — it never touches the reported values), so
+    executor queue / in-flight samples appear in figure metrics too.
     """
-    registry = MetricsRegistry() if want_metrics else None
-    tracer = Tracer() if want_trace else None
+    registry = current_metrics()
+    active = current_tracer()
+    observed = registry is not None or getattr(active, "enabled", False)
     seed = derive_seed(scale.base_seed, spec.workload_key, scale.name, x, rep)
     run_seed = derive_seed(scale.base_seed, "pipeline", spec.workload_key, x, rep)
     out: Dict[str, Tuple[float, float]] = {}
-    with observed(tracer=tracer, metrics=registry):
-        active = current_tracer()
-        with active.span(
-            "repetition", figure=spec.figure_id, x=x, rep=rep
-        ):
-            instance = spec.make_instance(x, scale, seed)
-            bandwidths = (
-                bandwidths_from_costs(instance.costs)
-                if want_metrics or want_trace
-                else None
-            )
-            for name in spec.pipelines:
-                t0 = time.perf_counter()
-                with active.span("cell", pipeline=name):
-                    schedule = build_pipeline(name).run(instance, rng=run_seed)
-                stats = schedule_stats(schedule, instance)
-                out[name] = (_cell_value(spec, stats), time.perf_counter() - t0)
-                if bandwidths is not None:
-                    with active.span("simulate", pipeline=name):
-                        sim = simulate_parallel(schedule, instance, bandwidths)
-                        active.annotate(makespan=sim.makespan)
-    return (
-        out,
-        registry.snapshot() if registry is not None else None,
-        tracer.spans if tracer is not None else None,
-    )
+    with active.span("repetition", figure=spec.figure_id, x=x, rep=rep):
+        instance = spec.make_instance(x, scale, seed)
+        bandwidths = (
+            bandwidths_from_costs(instance.costs) if observed else None
+        )
+        for name in spec.pipelines:
+            t0 = time.perf_counter()
+            with active.span("cell", pipeline=name):
+                schedule = build_pipeline(name).run(instance, rng=run_seed)
+            stats = schedule_stats(schedule, instance)
+            out[name] = (_cell_value(spec, stats), time.perf_counter() - t0)
+            if bandwidths is not None:
+                with active.span("simulate", pipeline=name):
+                    sim = simulate_parallel(schedule, instance, bandwidths)
+                    active.annotate(makespan=sim.makespan)
+    return out
 
 
-def _run_repetition(task: Tuple[float, int]):
-    """Pool worker: one ``(x, repetition)`` cell under ``_WORKER_CONTEXT``."""
+def _cell_task(
+    context: Tuple[FigureSpec, ExperimentScale], task: Tuple[float, int]
+):
+    """Work-queue task: one ``(x, repetition)`` cell."""
+    spec, scale = context
     x, rep = task
-    spec, scale, want_metrics, want_trace = _WORKER_CONTEXT
-    out, snapshot, spans = _execute_cell(
-        spec, scale, x, rep, want_metrics, want_trace
-    )
-    return x, rep, out, snapshot, spans
+    return x, rep, _execute_cell(spec, scale, x, rep)
 
 
 def _run_figure_tasks(
@@ -176,41 +150,28 @@ def _run_figure_tasks(
 ) -> FigureResult:
     """Run the ``(x, repetition)`` grid as independent cell tasks.
 
-    ``workers > 1`` fans out over a fork-based process pool; otherwise the
-    tasks run in-process, in the same order. Either way, observability
-    fragments are merged in deterministic task order, so counter totals
-    and the logical trace stream are identical for any worker count.
+    ``workers > 1`` fans out over the shared fork work queue
+    (:class:`repro.shard.pool.WorkQueue`); otherwise the tasks run
+    in-process, in the same order. Either way, observability fragments
+    are merged in deterministic task order, so counter totals and the
+    logical trace stream are identical for any worker count. Platforms
+    without ``fork`` degrade to serial execution with a
+    :class:`RuntimeWarning` and a ``progress`` line.
     """
-    global _WORKER_CONTEXT
     result = FigureResult(spec=spec, scale=scale)
     t_start = time.perf_counter()
     tasks = [(x, rep) for x in spec.x_values for rep in range(reps)]
-    want_metrics = metrics is not None
-    want_trace = tracer is not None
-    if workers > 1:
-        ctx = multiprocessing.get_context("fork")
-        _WORKER_CONTEXT = (spec, scale, want_metrics, want_trace)
-        try:
-            with ProcessPoolExecutor(
-                max_workers=min(workers, max(len(tasks), 1)), mp_context=ctx
-            ) as pool:
-                outputs = list(pool.map(_run_repetition, tasks))
-        finally:
-            _WORKER_CONTEXT = None
-    else:
-        outputs = [
-            (x, rep) + _execute_cell(spec, scale, x, rep, want_metrics, want_trace)
-            for x, rep in tasks
-        ]
+    queue = WorkQueue(workers=workers, progress=progress)
+    outputs = queue.run(
+        _cell_task,
+        tasks,
+        context=(spec, scale),
+        metrics=metrics,
+        tracer=tracer,
+    )
     by_cell: Dict[Tuple[float, int], Dict[str, Tuple[float, float]]] = {}
-    # Merge fragments in task order — pool.map preserves input order, so
-    # the merged stream is independent of scheduling.
-    for x, rep, out, snapshot, spans in outputs:
+    for x, rep, out in outputs:
         by_cell[(x, rep)] = out
-        if snapshot is not None:
-            metrics.merge(snapshot)
-        if spans is not None:
-            tracer.adopt(spans)
     # Reassemble in the serial loop's deterministic order.
     for x in spec.x_values:
         for name in spec.pipelines:
@@ -270,21 +231,12 @@ def run_figure(
         tracer = None
     obs_active = metrics is not None or tracer is not None
     if workers is not None and workers > 1:
-        try:
-            multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            message = (
-                f"run_figure(workers={workers}): the 'fork' start method is "
-                "unavailable on this platform; falling back to serial "
-                "execution"
-            )
-            warnings.warn(message, RuntimeWarning, stacklevel=2)
-            if progress is not None:
-                progress(message)
-        else:
-            return _run_figure_tasks(
-                spec, scale, reps, progress, workers, metrics, tracer
-            )
+        # The work queue owns the spawn-only fallback: without a usable
+        # ``fork`` start method it warns ("falling back to serial"),
+        # tells ``progress``, and runs the same tasks in-process.
+        return _run_figure_tasks(
+            spec, scale, reps, progress, workers, metrics, tracer
+        )
     if obs_active:
         # Same task loop as the pool path, run in-process: fragments merge
         # in the same order, so totals match any workers value exactly.

@@ -16,6 +16,7 @@ from repro.flat.builders import flat_build, flat_builder_names
 from repro.flat.config import (
     FLAT_AUTO_CELLS,
     flat_mode,
+    flat_mode_override,
     set_flat_mode,
     use_flat,
 )
@@ -29,6 +30,7 @@ __all__ = [
     "flat_build",
     "flat_builder_names",
     "flat_mode",
+    "flat_mode_override",
     "set_flat_mode",
     "use_flat",
 ]

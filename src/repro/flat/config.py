@@ -18,7 +18,8 @@ is purely a performance decision. Resolution order:
 from __future__ import annotations
 
 import os
-from typing import Optional
+from contextlib import contextmanager
+from typing import Iterator, Optional
 
 from repro.model.instance import RtspInstance
 from repro.util.errors import ConfigurationError
@@ -47,6 +48,27 @@ def set_flat_mode(mode: Optional[str]) -> None:
             f"flat mode must be one of {_MODES}, got {mode!r}"
         )
     _mode = normalized
+
+
+@contextmanager
+def flat_mode_override(mode: Optional[str]) -> Iterator[None]:
+    """Scoped :func:`set_flat_mode`: restore the previous mode on exit.
+
+    ``_mode`` is a process global, so a bare :func:`set_flat_mode` call
+    leaks the override into everything that runs later in the process —
+    including, before this existed, every CLI invocation and benchmark
+    that raised midway. Prefer this context manager anywhere the
+    override has a natural scope; the previous mode is restored even
+    when the body raises. ``None`` is a valid override (force
+    environment/default resolution for the block).
+    """
+    global _mode
+    previous = _mode
+    set_flat_mode(mode)
+    try:
+        yield
+    finally:
+        _mode = previous
 
 
 def flat_mode() -> str:

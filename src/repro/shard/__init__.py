@@ -1,0 +1,42 @@
+"""Sharded fleet-scale planning.
+
+Partition an :class:`~repro.model.instance.RtspInstance` into
+independently plannable parts, plan them in parallel on a deterministic
+fork pool, stitch the per-part schedules into one global schedule, and
+verify it with the exact invariant oracle. Entry point:
+:func:`plan_sharded`; see :mod:`repro.shard.planner` for the
+determinism contract.
+"""
+
+from repro.shard.compose import compose_instances, component_slices
+from repro.shard.mmapcost import MMAP_DEFAULT_BYTES, CostMatrixStore
+from repro.shard.partition import (
+    Partition,
+    ShardPart,
+    pack_parts,
+    partition_by_object_family,
+    partition_by_zone,
+    partition_connected,
+    resolve_partition,
+)
+from repro.shard.planner import ShardStats, ShardedPlan, plan_sharded
+from repro.shard.pool import WorkQueue, fork_available
+
+__all__ = [
+    "CostMatrixStore",
+    "MMAP_DEFAULT_BYTES",
+    "Partition",
+    "ShardPart",
+    "ShardStats",
+    "ShardedPlan",
+    "WorkQueue",
+    "component_slices",
+    "compose_instances",
+    "fork_available",
+    "pack_parts",
+    "partition_by_object_family",
+    "partition_by_zone",
+    "partition_connected",
+    "plan_sharded",
+    "resolve_partition",
+]

@@ -1,0 +1,105 @@
+"""Memory-mapped cost-matrix slicing for fleet-scale instances.
+
+The extended cost matrix is the one ``O(M^2)`` input of an
+:class:`~repro.model.instance.RtspInstance`; at fleet scale (``M`` in
+the tens of thousands) it dwarfs the placement matrices and must not be
+copied per shard or pickled per pool task. :class:`CostMatrixStore`
+spills the matrix once to an ``.npy`` file and answers shard slices
+from a read-only memmap: a slice touches only the shard's rows, the
+file is shared page-cache-backed across fork workers, and the parent's
+in-memory matrix can be dropped entirely.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["CostMatrixStore", "MMAP_DEFAULT_BYTES"]
+
+#: Matrices at or above this many bytes are worth spilling (64 MiB —
+#: roughly ``M >= 2900`` at float64).
+MMAP_DEFAULT_BYTES = 64 * 1024 * 1024
+
+
+class CostMatrixStore:
+    """A cost matrix served from RAM or from a read-only memmap file.
+
+    Build one with :meth:`from_matrix`; ``spill=True`` forces the memmap
+    path, ``False`` keeps the array in RAM, ``"auto"`` (default) spills
+    only when the matrix crosses ``threshold_bytes``. Use as a context
+    manager (or call :meth:`close`) so the backing file is unlinked.
+    """
+
+    def __init__(
+        self, matrix: np.ndarray, path: Optional[str] = None
+    ) -> None:
+        self._matrix = matrix
+        self._path = path
+
+    @classmethod
+    def from_matrix(
+        cls,
+        matrix: np.ndarray,
+        spill: object = "auto",
+        threshold_bytes: int = MMAP_DEFAULT_BYTES,
+    ) -> "CostMatrixStore":
+        """Wrap ``matrix``, spilling it to a memmap file when asked.
+
+        The spill file is written once with :func:`numpy.save` and
+        reopened with ``mmap_mode="r"``, so subsequent slicing performs
+        page-granular reads instead of holding the full matrix.
+        """
+        if spill not in (True, False, "auto"):
+            raise ValueError(f"spill must be True/False/'auto', got {spill!r}")
+        want = spill is True or (
+            spill == "auto" and matrix.nbytes >= threshold_bytes
+        )
+        if not want:
+            return cls(matrix)
+        fd, path = tempfile.mkstemp(prefix="rtsp-costs-", suffix=".npy")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.save(fh, np.ascontiguousarray(matrix))
+            mapped = np.load(path, mmap_mode="r")
+        except BaseException:
+            os.unlink(path)
+            raise
+        return cls(mapped, path=path)
+
+    @property
+    def spilled(self) -> bool:
+        """Whether the matrix lives in a memmap file."""
+        return self._path is not None
+
+    @property
+    def shape(self):
+        return self._matrix.shape
+
+    def slice(self, indices: Sequence[int]) -> np.ndarray:
+        """The dense ``len(indices) x len(indices)`` submatrix.
+
+        The result is a small in-RAM copy (a shard's extended matrix):
+        fancy indexing on the memmap reads only the selected rows.
+        """
+        rows = np.asarray(indices, dtype=np.intp)
+        return np.asarray(self._matrix[np.ix_(rows, rows)], dtype=np.float64)
+
+    def close(self) -> None:
+        """Release the memmap and unlink the backing file (idempotent)."""
+        if self._path is not None:
+            self._matrix = np.zeros((0, 0))
+            try:
+                os.unlink(self._path)
+            except OSError:
+                pass
+            self._path = None
+
+    def __enter__(self) -> "CostMatrixStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

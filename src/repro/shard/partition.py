@@ -1,0 +1,326 @@
+"""Partitioning an :class:`~repro.model.instance.RtspInstance` into shards.
+
+A *part* is a set of servers plus the set of objects planned with them;
+a *partition* is a list of parts that together cover every placement
+cell (``server x object``) exactly once. Three partitioners are
+provided, in decreasing order of strength:
+
+* :func:`partition_connected` — one part per connected component of the
+  placement interaction graph
+  (:func:`repro.analysis.transfer_graph.placement_components`). Always
+  *exact*: no object's footprint crosses a part boundary, so every
+  transfer keeps its real sources and stitched plans match unsharded
+  planning of each part byte-for-byte.
+* :func:`partition_by_zone` — explicit server→zone labels (topology
+  zones, racks, regions). Server-disjoint by construction, but an
+  object replicated in several zones is split: each zone plans its own
+  cells, and targets whose only old sources live in another zone fall
+  back to dummy transfers. Exact iff no object spans zones.
+* :func:`partition_by_object_family` — object→family labels over the
+  *full* server set with sequentially split capacities. Useful when the
+  interaction graph is one blob but memory forces decomposition; never
+  exact (the stitch order is canonicalised), though no sources are lost
+  because every part keeps the full server set.
+
+Exactness is what :func:`repro.shard.planner.plan_sharded` keys its
+byte-identity guarantee on; inexact partitions still stitch into valid
+(invariant-clean) schedules, with the dummy surcharge reported through
+cross-shard accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.analysis.transfer_graph import placement_components
+from repro.model.instance import RtspInstance
+from repro.util.errors import ConfigurationError
+
+__all__ = [
+    "ShardPart",
+    "Partition",
+    "partition_connected",
+    "partition_by_zone",
+    "partition_by_object_family",
+    "resolve_partition",
+    "pack_parts",
+]
+
+
+@dataclass(frozen=True)
+class ShardPart:
+    """One independently planned slice of an instance.
+
+    ``servers`` and ``objects`` are sorted tuples of *global* indices.
+    ``weight`` estimates the part's planning work (outstanding +
+    superfluous cells) and drives the bin-packing of parts into shards;
+    it never influences the planned actions.
+    """
+
+    servers: Tuple[int, ...]
+    objects: Tuple[int, ...]
+    weight: int
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        """Stable identity used for canonical ordering and seed derivation.
+
+        ``(first server, first object)``: parts of a server-disjoint
+        partition differ in the first coordinate, parts of an
+        object-family partition (which share all servers) in the second.
+        """
+        return (
+            self.servers[0] if self.servers else -1,
+            self.objects[0] if self.objects else -1,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ShardPart(servers={len(self.servers)}, "
+            f"objects={len(self.objects)}, weight={self.weight})"
+        )
+
+
+@dataclass(frozen=True)
+class Partition:
+    """An ordered list of parts plus the guarantees they carry.
+
+    ``exact`` means every object's old+new footprint lies inside a
+    single part: sub-plans then compose without losing any transfer
+    source, and the stitched schedule is byte-identical to planning each
+    part unsharded. ``scheme`` names the partitioner for reports.
+    ``capacities`` optionally overrides per-part server capacities
+    (object-family partitioning splits each server's budget between
+    parts); ``None`` entries mean "use the instance's capacities".
+    """
+
+    parts: Tuple[ShardPart, ...]
+    exact: bool
+    scheme: str
+    capacities: Optional[Tuple[Optional[Tuple[float, ...]], ...]] = None
+
+    def __len__(self) -> int:
+        return len(self.parts)
+
+    def part_capacities(self, index: int) -> Optional[Tuple[float, ...]]:
+        """Capacity override for part ``index`` (``None``: instance caps)."""
+        if self.capacities is None:
+            return None
+        return self.capacities[index]
+
+
+def _part_weight(instance: RtspInstance, servers, objects) -> int:
+    """Outstanding + superfluous cells inside the part's rectangle."""
+    if len(servers) == 0 or len(objects) == 0:
+        return 0
+    grid = np.ix_(np.asarray(servers), np.asarray(objects))
+    return int(
+        instance.outstanding()[grid].sum() + instance.superfluous()[grid].sum()
+    )
+
+
+def _objects_on(instance: RtspInstance, servers: Sequence[int]) -> List[int]:
+    """Objects with any old or new replica on ``servers`` (sorted)."""
+    rows = np.asarray(servers, dtype=np.intp)
+    footprint = (
+        instance.x_old[rows].any(axis=0) | instance.x_new[rows].any(axis=0)
+    )
+    return [int(k) for k in np.flatnonzero(footprint)]
+
+
+def partition_connected(instance: RtspInstance) -> Partition:
+    """One part per placement-interaction component (always exact).
+
+    Objects whose footprint is empty (no replica old or new) belong to
+    no part — they require no actions. Parts are ordered by smallest
+    server index, the canonical stitch order.
+    """
+    parts = []
+    for servers in placement_components(instance):
+        objects = _objects_on(instance, servers)
+        parts.append(
+            ShardPart(
+                servers=tuple(servers),
+                objects=tuple(objects),
+                weight=_part_weight(instance, servers, objects),
+            )
+        )
+    return Partition(parts=tuple(parts), exact=True, scheme="components")
+
+
+def partition_by_zone(
+    instance: RtspInstance, zones: Sequence[object]
+) -> Partition:
+    """Group servers by ``zones`` labels (one label per server).
+
+    Each part owns its zone's servers and every object with a cell
+    there; objects spanning zones appear in several parts, each planning
+    only its own cells (that is what makes the partition inexact — a
+    zone whose targets lost their out-of-zone sources pulls from the
+    dummy server instead). Parts are ordered by smallest server index.
+    """
+    if len(zones) != instance.num_servers:
+        raise ConfigurationError(
+            f"expected {instance.num_servers} zone labels, got {len(zones)}"
+        )
+    by_zone: Dict[object, List[int]] = {}
+    for server, zone in enumerate(zones):
+        by_zone.setdefault(zone, []).append(server)
+    parts = []
+    seen_objects: Dict[int, int] = {}
+    exact = True
+    for servers in sorted(by_zone.values(), key=lambda group: group[0]):
+        objects = _objects_on(instance, servers)
+        for obj in objects:
+            seen_objects[obj] = seen_objects.get(obj, 0) + 1
+        parts.append(
+            ShardPart(
+                servers=tuple(servers),
+                objects=tuple(objects),
+                weight=_part_weight(instance, servers, objects),
+            )
+        )
+    if any(count > 1 for count in seen_objects.values()):
+        exact = False
+    return Partition(parts=tuple(parts), exact=exact, scheme="zone")
+
+
+def partition_by_object_family(
+    instance: RtspInstance, families: Union[int, Sequence[object]]
+) -> Partition:
+    """Split the *objects* into families, each planned over all servers.
+
+    ``families`` is either a label per object or an integer ``F`` (the
+    objects are chunked into ``F`` contiguous ranges). Because parts
+    share every server, each server's capacity is divided sequentially
+    along the stitch order: part ``p`` plans against
+    ``cap - sum(new loads of earlier parts) - sum(old loads of later
+    parts)`` — exactly the storage left over while earlier families have
+    already landed and later families still hold their old replicas.
+    The split can be infeasible even when the instance is (families may
+    *need* interleaving to fit); that surfaces as
+    :class:`~repro.util.errors.ConfigurationError` from sub-instance
+    extraction, and the caller should fall back to fewer families or the
+    component partitioner.
+    """
+    n = instance.num_objects
+    if isinstance(families, (int, np.integer)):
+        count = int(families)
+        if count < 1:
+            raise ConfigurationError("family count must be >= 1")
+        labels: List[object] = [
+            min(k * count // max(n, 1), count - 1) for k in range(n)
+        ]
+    else:
+        labels = list(families)
+        if len(labels) != n:
+            raise ConfigurationError(
+                f"expected {n} family labels, got {len(labels)}"
+            )
+    by_family: Dict[object, List[int]] = {}
+    for obj, label in enumerate(labels):
+        by_family.setdefault(label, []).append(obj)
+    servers = tuple(range(instance.num_servers))
+    ordered = sorted(by_family.values(), key=lambda objs: objs[0])
+    sizes = instance.sizes
+    old_loads = [
+        instance.x_old[:, objs].astype(np.float64) @ sizes[objs]
+        for objs in ordered
+    ]
+    new_loads = [
+        instance.x_new[:, objs].astype(np.float64) @ sizes[objs]
+        for objs in ordered
+    ]
+    parts = []
+    capacities = []
+    for index, objs in enumerate(ordered):
+        parts.append(
+            ShardPart(
+                servers=servers,
+                objects=tuple(objs),
+                weight=_part_weight(instance, servers, objs),
+            )
+        )
+        reserved = np.zeros(instance.num_servers, dtype=np.float64)
+        for earlier in range(index):
+            reserved += new_loads[earlier]
+        for later in range(index + 1, len(ordered)):
+            reserved += old_loads[later]
+        caps = np.asarray(instance.capacities, dtype=np.float64) - reserved
+        capacities.append(tuple(float(c) for c in caps))
+    exact = len(parts) == 1
+    return Partition(
+        parts=tuple(parts),
+        exact=exact,
+        scheme="family",
+        capacities=tuple(capacities),
+    )
+
+
+PartitionerSpec = Union[
+    str, Partition, Callable[[RtspInstance], Partition]
+]
+
+
+def resolve_partition(
+    instance: RtspInstance, partitioner: PartitionerSpec = "components"
+) -> Partition:
+    """Normalise a partitioner spec into a concrete :class:`Partition`.
+
+    Accepts the string ``"components"``, a ready-made :class:`Partition`
+    (e.g. from :func:`partition_by_zone`), or a callable
+    ``instance -> Partition``.
+    """
+    if isinstance(partitioner, Partition):
+        return partitioner
+    if callable(partitioner):
+        partition = partitioner(instance)
+        if not isinstance(partition, Partition):
+            raise ConfigurationError(
+                "partitioner callable must return a Partition, "
+                f"got {type(partition).__name__}"
+            )
+        return partition
+    if partitioner == "components":
+        return partition_connected(instance)
+    raise ConfigurationError(
+        f"unknown partitioner {partitioner!r}; pass 'components', a "
+        "Partition, or a callable (see partition_by_zone / "
+        "partition_by_object_family)"
+    )
+
+
+def pack_parts(
+    partition: Partition, shards: Optional[int]
+) -> List[List[int]]:
+    """Pack part indices into at most ``shards`` execution bins.
+
+    Longest-processing-time assignment on part weight: heaviest part
+    first, each into the currently lightest bin, so bins stay balanced.
+    Packing only groups *work* for the pool — each part keeps its own
+    sub-instance and derived seed, so the stitched schedule is identical
+    for every ``shards`` value. ``shards=None`` means one bin per part.
+    """
+    count = len(partition.parts)
+    if count == 0:
+        return []
+    if shards is not None and shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    if shards is None or shards >= count:
+        return [[index] for index in range(count)]
+    order = sorted(
+        range(count),
+        key=lambda index: (-partition.parts[index].weight, index),
+    )
+    bins: List[List[int]] = [[] for _ in range(shards)]
+    loads = [0.0] * shards
+    for index in order:
+        lightest = min(range(shards), key=lambda b: (loads[b], b))
+        bins[lightest].append(index)
+        loads[lightest] += partition.parts[index].weight
+    for b in bins:
+        b.sort()
+    return sorted((b for b in bins if b), key=lambda b: b[0])

@@ -1,0 +1,156 @@
+"""A reusable deterministic fork-pool work queue.
+
+Generalises the process pool that :func:`repro.experiments.runner.
+run_figure` grew for figure sweeps into a component every fan-out in the
+library shares (figure repetitions, shard planning):
+
+* tasks are mapped over a fork-based :class:`~concurrent.futures.
+  ProcessPoolExecutor`, with results returned in **input order** so any
+  downstream merge is independent of scheduling;
+* the callable and its context are installed in a module global just
+  before the pool starts (fork workers inherit them), so closures over
+  non-picklable state never cross a pickle boundary;
+* when an observability registry/tracer is supplied, every task records
+  into a *fresh* fragment whose snapshot is merged back in task order —
+  counter totals and the logical trace stream are identical for any
+  worker count (the PR 4 contract);
+* platforms without the ``fork`` start method (or with it monkeypatched
+  away) degrade to serial execution with a :class:`RuntimeWarning` and
+  a ``progress`` line, never an exception — the PR 3 serial-fallback
+  contract, now honoured on spawn-only platforms too.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.obs.context import observed
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, Tracer
+
+__all__ = ["WorkQueue", "fork_available"]
+
+
+def fork_available() -> bool:
+    """Whether the ``fork`` start method can actually be used.
+
+    Consults :func:`multiprocessing.get_all_start_methods` (spawn-only
+    platforms such as Windows — and tests that monkeypatch it — report
+    no ``fork``) and then confirms :func:`multiprocessing.get_context`
+    agrees, so both discovery paths stay honest.
+    """
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return False
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform-specific
+        return False
+    return True
+
+
+#: Installed immediately before the pool forks; inherited by workers so
+#: the task function and its context never need to be pickled.
+_WORKER_STATE: Optional[Tuple[Callable[..., Any], Any, bool, bool]] = None
+
+TaskOutput = Tuple[Any, Optional[dict], Optional[List[Span]]]
+
+
+def _run_one(task: Any) -> TaskOutput:
+    """Execute one task under :data:`_WORKER_STATE` with fresh fragments."""
+    assert _WORKER_STATE is not None, "WorkQueue worker state not installed"
+    fn, context, want_metrics, want_trace = _WORKER_STATE
+    registry = MetricsRegistry() if want_metrics else None
+    tracer = Tracer() if want_trace else None
+    with observed(tracer=tracer, metrics=registry):
+        result = fn(context, task)
+    return (
+        result,
+        registry.snapshot() if registry is not None else None,
+        tracer.spans if tracer is not None else None,
+    )
+
+
+class WorkQueue:
+    """Deterministic map over tasks, parallel when the platform allows.
+
+    ``workers <= 1`` always runs serially; ``workers > 1`` uses a
+    fork-based process pool, or falls back to serial execution (with a
+    :class:`RuntimeWarning` and an optional ``progress`` line) when
+    ``fork`` is unavailable. Results, observability merges, and
+    therefore every downstream artifact are byte-identical for any
+    worker count.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.workers = max(int(workers), 1)
+        self.progress = progress
+
+    def run(
+        self,
+        fn: Callable[[Any, Any], Any],
+        tasks: Sequence[Any],
+        context: Any = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> List[Any]:
+        """Map ``fn(context, task)`` over ``tasks`` in input order.
+
+        ``fn`` must be a module-level callable (workers resolve it
+        through the inherited module state, not a pickle). When
+        ``metrics``/``tracer`` are supplied, each task runs inside a
+        fresh fragment — also on the serial path, so totals never
+        depend on the worker count — and the fragments are merged into
+        the supplied instruments in task order.
+        """
+        global _WORKER_STATE
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        want_metrics = metrics is not None
+        want_trace = tracer is not None and getattr(tracer, "enabled", False)
+        state = (fn, context, want_metrics, want_trace)
+        workers = min(self.workers, len(tasks))
+        if workers > 1 and not fork_available():
+            message = (
+                f"WorkQueue(workers={workers}): the 'fork' start method is "
+                "unavailable on this platform; falling back to serial "
+                "execution"
+            )
+            warnings.warn(message, RuntimeWarning, stacklevel=3)
+            if self.progress is not None:
+                self.progress(message)
+            workers = 1
+        if workers > 1:
+            ctx = multiprocessing.get_context("fork")
+            _WORKER_STATE = state
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=workers, mp_context=ctx
+                ) as pool:
+                    outputs = list(pool.map(_run_one, tasks))
+            finally:
+                _WORKER_STATE = None
+        else:
+            previous = _WORKER_STATE
+            _WORKER_STATE = state
+            try:
+                outputs = [_run_one(task) for task in tasks]
+            finally:
+                _WORKER_STATE = previous
+        results: List[Any] = []
+        # Merge fragments in task order — pool.map preserves input
+        # order, so the merged stream is independent of scheduling.
+        for result, snapshot, spans in outputs:
+            results.append(result)
+            if snapshot is not None and metrics is not None:
+                metrics.merge(snapshot)
+            if spans is not None and tracer is not None:
+                tracer.adopt(spans)
+        return results

@@ -37,6 +37,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, default=0, help="RNG seed")
     p.add_argument("--out", required=True, help="output rtsp-schedule/1 file")
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "plan by connected component through repro.shard, packing "
+            "components into at most N parallel work units; the output "
+            "schedule is identical for every N"
+        ),
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="K",
+        help="process-pool size for --shards (default 1: serial)",
+    )
 
     p = sub.add_parser("validate", help="replay a schedule against an instance")
     p.add_argument("--instance", required=True)
@@ -104,7 +122,25 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_schedule(args) -> int:
     instance = load_instance(args.instance)
     pipeline = build_pipeline(args.pipeline)
-    schedule = pipeline.run(instance, rng=args.seed)
+    if args.shards is not None:
+        from repro.shard import plan_sharded
+
+        plan = plan_sharded(
+            instance,
+            pipeline,
+            shards=args.shards,
+            workers=args.workers,
+            rng=args.seed,
+            progress=lambda line: print("  " + line),
+        )
+        schedule = plan.schedule
+        print(
+            f"sharded over {len(plan.partition.parts)} component(s) in "
+            f"{len(plan.shards)} shard(s), workers={args.workers}, "
+            f"cross-shard dummies={plan.cross_shard_dummies}"
+        )
+    else:
+        schedule = pipeline.run(instance, rng=args.seed)
     stats = schedule_stats(schedule, instance)
     save_schedule(schedule, args.out)
     print(

@@ -74,3 +74,22 @@ class TestExecution:
     def test_default_name_joined(self):
         p = Pipeline(get_builder("RDF"), [get_optimizer("H1")])
         assert p.name == "RDF+H1"
+
+
+class TestReplanTrivialResidual:
+    def test_trivial_residual_short_circuits_to_empty_schedule(self, fig3):
+        """placement == X_new: no stage runs, the schedule is empty."""
+        pipeline = build_pipeline("GOLCF+H1")
+
+        def boom(instance, rng=None):
+            raise AssertionError("pipeline ran on a trivial residual")
+
+        pipeline.run = boom  # any stage invocation is a regression
+        schedule = pipeline.replan(fig3, fig3.x_new)
+        assert len(schedule) == 0
+
+    def test_nontrivial_residual_still_plans(self, fig3):
+        pipeline = build_pipeline("GOLCF+H1")
+        schedule = pipeline.replan(fig3, fig3.x_old, rng=3)
+        assert len(schedule) > 0
+        assert schedule.validate(fig3).ok

@@ -127,6 +127,27 @@ class TestParallelRunFigure:
         for cf, cs in zip(result.cells, serial.cells):
             assert cf.values == cs.values
 
+    def test_spawn_only_platform_falls_back_serially(self, monkeypatch):
+        """Platforms advertising only 'spawn' degrade loudly, not fatally.
+
+        Regression: the old runner only caught get_context('fork')
+        raising; a platform where 'fork' is absent from
+        get_all_start_methods() never reached that probe and crashed
+        inside the pool instead."""
+        import multiprocessing
+
+        monkeypatch.setattr(
+            multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+        spec = tiny_spec()
+        lines = []
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            result = run_figure(spec, TINY, workers=3, progress=lines.append)
+        assert any("falling back to serial" in line for line in lines)
+        serial = run_figure(spec, TINY)
+        for cf, cs in zip(result.cells, serial.cells):
+            assert cf.values == cs.values
+
 
 class TestCellResult:
     def test_mean_std(self):

@@ -17,6 +17,7 @@ from repro.flat import (
     flat_build,
     flat_builder_names,
     flat_mode,
+    flat_mode_override,
     set_flat_mode,
     use_flat,
 )
@@ -102,6 +103,34 @@ def test_auto_mode_thresholds_on_cell_count():
     )
     assert big.num_servers * big.num_objects >= FLAT_AUTO_CELLS
     assert use_flat(big)
+
+
+def test_mode_override_restores_previous_mode():
+    set_flat_mode("off")
+    with flat_mode_override("on"):
+        assert flat_mode() == "on"
+        with flat_mode_override(None):  # None forces env/default resolution
+            assert flat_mode() == "auto"
+        assert flat_mode() == "on"
+    assert flat_mode() == "off"
+
+
+def test_mode_override_restores_on_exception():
+    """The process-global mode must not leak out of a raising block."""
+    set_flat_mode(None)
+    with pytest.raises(RuntimeError):
+        with flat_mode_override("on"):
+            assert flat_mode() == "on"
+            raise RuntimeError("boom")
+    assert flat_mode() == "auto"
+
+
+def test_mode_override_rejects_bad_mode_without_clobbering():
+    set_flat_mode("off")
+    with pytest.raises(ConfigurationError):
+        with flat_mode_override("bogus"):
+            pass  # pragma: no cover - never entered
+    assert flat_mode() == "off"
 
 
 def test_env_variable_resolution(monkeypatch):

@@ -172,6 +172,36 @@ class TestResidual:
             state.apply(action)
         assert state.matches(instance.x_new)
 
+    def test_repair_round_with_trivial_residual_skips_the_pipeline(self):
+        """A crash that loses nothing must not re-run the builders.
+
+        The drained server holds no replica at ``X_new``, so a crash
+        firing after completion leaves the placement equal to ``X_new``;
+        ``Pipeline.replan`` must short-circuit instead of invoking the
+        pipeline on the trivial residual."""
+        from repro.workloads.maintenance import drain_instance
+
+        base = paper_instance(replicas=2, num_servers=8, num_objects=20, rng=3)
+        drained = 2
+        inst = drain_instance(base, [drained], rng=0)
+        assert not inst.x_new[drained].any()
+
+        pipeline = build_pipeline("GOLCF+H1")
+        original_run = pipeline.run
+
+        def guarded_run(instance, rng=None):
+            assert not is_residual_trivial(instance), (
+                "repair round planned a trivial residual"
+            )
+            return original_run(instance, rng=rng)
+
+        pipeline.run = guarded_run
+        plan = FaultPlan(crashes=(ServerCrash(time=1e12, server=drained),))
+        report = RepairEngine(pipeline).execute(inst, plan, rng=0)
+        assert report.completed
+        assert report.replans == 1
+        assert report.revalidate(inst)
+
 
 class TestCrashState:
     def test_crash_server_returns_replayable_deletes(self, instance):

@@ -1,0 +1,27 @@
+"""Shared fixtures for the sharding tests."""
+
+import pytest
+
+from repro.shard import compose_instances
+from repro.workloads.regular import paper_instance
+
+
+def small_blocks(count=3, num_servers=8, num_objects=20):
+    """``count`` independent connected paper instances."""
+    return [
+        paper_instance(
+            3, num_servers=num_servers, num_objects=num_objects, rng=block
+        )
+        for block in range(count)
+    ]
+
+
+@pytest.fixture(scope="module")
+def blocks():
+    return small_blocks()
+
+
+@pytest.fixture(scope="module")
+def composed(blocks):
+    """A 3-component instance with known block structure."""
+    return compose_instances(blocks)

@@ -1,0 +1,67 @@
+"""Memory-mapped cost-matrix store."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.shard import CostMatrixStore
+
+
+@pytest.fixture
+def matrix():
+    rng = np.random.default_rng(3)
+    m = rng.uniform(1.0, 10.0, size=(12, 12))
+    np.fill_diagonal(m, 0.0)
+    return m
+
+
+class TestSpillPolicy:
+    def test_auto_keeps_small_matrices_in_ram(self, matrix):
+        store = CostMatrixStore.from_matrix(matrix)
+        assert not store.spilled
+
+    def test_auto_spills_past_threshold(self, matrix):
+        with CostMatrixStore.from_matrix(matrix, threshold_bytes=8) as store:
+            assert store.spilled
+
+    def test_forced_spill_and_forced_ram(self, matrix):
+        with CostMatrixStore.from_matrix(matrix, spill=True) as store:
+            assert store.spilled
+        assert not CostMatrixStore.from_matrix(matrix, spill=False).spilled
+
+    def test_bad_spill_value_rejected(self, matrix):
+        with pytest.raises(ValueError):
+            CostMatrixStore.from_matrix(matrix, spill="maybe")
+
+
+class TestSlicing:
+    def test_slice_matches_dense_submatrix(self, matrix):
+        indices = [0, 3, 7, 11]
+        expected = matrix[np.ix_(indices, indices)]
+        for spill in (False, True):
+            with CostMatrixStore.from_matrix(matrix, spill=spill) as store:
+                got = store.slice(indices)
+                assert got.dtype == np.float64
+                assert np.array_equal(got, expected)
+
+    def test_slice_is_a_private_copy(self, matrix):
+        with CostMatrixStore.from_matrix(matrix, spill=True) as store:
+            piece = store.slice([1, 2])
+            piece[0, 0] = 999.0
+            assert store.slice([1, 2])[0, 0] != 999.0
+
+
+class TestLifecycle:
+    def test_close_unlinks_backing_file(self, matrix):
+        store = CostMatrixStore.from_matrix(matrix, spill=True)
+        path = store._path
+        assert path is not None and os.path.exists(path)
+        store.close()
+        assert not os.path.exists(path)
+        store.close()  # idempotent
+
+    def test_context_manager_cleans_up(self, matrix):
+        with CostMatrixStore.from_matrix(matrix, spill=True) as store:
+            path = store._path
+        assert not os.path.exists(path)

@@ -1,0 +1,145 @@
+"""Partitioners and bin packing."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import placement_components
+from repro.shard import (
+    component_slices,
+    pack_parts,
+    partition_by_object_family,
+    partition_by_zone,
+    partition_connected,
+    resolve_partition,
+)
+from repro.shard.partition import Partition, ShardPart
+from repro.util.errors import ConfigurationError
+
+
+class TestPlacementComponents:
+    def test_composed_blocks_are_recovered(self, blocks, composed):
+        components = placement_components(composed)
+        expected = [srv for srv, _ in component_slices(blocks)]
+        assert components == expected
+
+    def test_single_connected_instance(self, blocks):
+        assert placement_components(blocks[0]) == [
+            list(range(blocks[0].num_servers))
+        ]
+
+
+class TestPartitionConnected:
+    def test_parts_cover_all_cells_once(self, composed):
+        partition = partition_connected(composed)
+        assert partition.exact
+        assert partition.scheme == "components"
+        seen_servers = [s for p in partition.parts for s in p.servers]
+        assert sorted(seen_servers) == list(range(composed.num_servers))
+        seen_objects = [k for p in partition.parts for k in p.objects]
+        assert sorted(seen_objects) == list(range(composed.num_objects))
+
+    def test_canonical_order_by_smallest_server(self, composed):
+        partition = partition_connected(composed)
+        firsts = [p.servers[0] for p in partition.parts]
+        assert firsts == sorted(firsts)
+
+    def test_weights_reflect_cell_work(self, composed):
+        partition = partition_connected(composed)
+        total = int(
+            composed.outstanding().sum() + composed.superfluous().sum()
+        )
+        assert sum(p.weight for p in partition.parts) == total
+
+
+class TestPartitionByZone:
+    def test_block_aligned_zones_are_exact(self, blocks, composed):
+        zones = []
+        for label, block in enumerate(blocks):
+            zones.extend([label] * block.num_servers)
+        partition = partition_by_zone(composed, zones)
+        assert partition.exact
+
+    def test_component_cutting_zones_are_inexact(self, blocks, composed):
+        zones = []
+        for label, block in enumerate(blocks):
+            zones.extend([label] * block.num_servers)
+        zones[0] = "cut"  # split server 0 away from its component
+        partition = partition_by_zone(composed, zones)
+        assert not partition.exact
+
+    def test_wrong_label_count_rejected(self, composed):
+        with pytest.raises(ConfigurationError):
+            partition_by_zone(composed, [0, 1])
+
+
+class TestPartitionByObjectFamily:
+    def test_integer_families_chunk_objects(self, blocks):
+        inst = blocks[0]
+        partition = partition_by_object_family(inst, 4)
+        assert len(partition.parts) == 4
+        assert not partition.exact
+        seen = [k for p in partition.parts for k in p.objects]
+        assert sorted(seen) == list(range(inst.num_objects))
+        for part in partition.parts:
+            assert part.servers == tuple(range(inst.num_servers))
+
+    def test_capacity_split_is_sequential(self, blocks):
+        inst = blocks[0]
+        partition = partition_by_object_family(inst, 2)
+        caps0 = np.asarray(partition.part_capacities(0))
+        caps1 = np.asarray(partition.part_capacities(1))
+        objs1 = list(partition.parts[1].objects)
+        objs0 = list(partition.parts[0].objects)
+        old_later = inst.x_old[:, objs1].astype(float) @ inst.sizes[objs1]
+        new_earlier = inst.x_new[:, objs0].astype(float) @ inst.sizes[objs0]
+        assert np.allclose(caps0, inst.capacities - old_later)
+        assert np.allclose(caps1, inst.capacities - new_earlier)
+
+    def test_bad_family_count_rejected(self, blocks):
+        with pytest.raises(ConfigurationError):
+            partition_by_object_family(blocks[0], 0)
+
+
+class TestResolvePartition:
+    def test_string_partition_and_callable_accepted(self, composed):
+        by_name = resolve_partition(composed, "components")
+        assert resolve_partition(composed, by_name) is by_name
+        by_call = resolve_partition(composed, partition_connected)
+        assert by_call.parts == by_name.parts
+
+    def test_unknown_spec_rejected(self, composed):
+        with pytest.raises(ConfigurationError):
+            resolve_partition(composed, "magic")
+
+
+class TestPackParts:
+    def _partition(self, weights):
+        parts = tuple(
+            ShardPart(servers=(index,), objects=(index,), weight=weight)
+            for index, weight in enumerate(weights)
+        )
+        return Partition(parts=parts, exact=True, scheme="test")
+
+    def test_none_means_one_bin_per_part(self):
+        assert pack_parts(self._partition([3, 1, 2]), None) == [[0], [1], [2]]
+
+    def test_every_part_lands_exactly_once(self):
+        partition = self._partition([5, 1, 4, 2, 8, 3])
+        bins = pack_parts(partition, 3)
+        assert len(bins) == 3
+        assert sorted(i for b in bins for i in b) == list(range(6))
+
+    def test_lpt_balances_loads(self):
+        partition = self._partition([8, 7, 6, 5, 4, 3, 2, 1])
+        bins = pack_parts(partition, 2)
+        loads = [
+            sum(partition.parts[i].weight for i in b) for b in bins
+        ]
+        assert max(loads) <= 19  # perfect split is 18/18
+
+    def test_more_bins_than_parts_collapses(self):
+        assert pack_parts(self._partition([1, 2]), 10) == [[0], [1]]
+
+    def test_invalid_shards_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pack_parts(self._partition([1]), 0)

@@ -54,6 +54,37 @@ class TestScheduleCommand:
              "--pipeline", "RDF", "--seed", "7"]
         ) == 0
 
+    def test_sharded_path_matches_unsharded(self, tmp_path, capsys):
+        from repro.shard import compose_instances
+
+        composed = compose_instances(
+            [
+                paper_instance(2, num_servers=6, num_objects=12, rng=block)
+                for block in range(2)
+            ]
+        )
+        path = tmp_path / "composed.json"
+        save_instance(composed, path)
+        outputs = {}
+        for shards in (1, 2, 4):
+            out = tmp_path / f"sharded{shards}.json"
+            code = main(
+                ["schedule", "--instance", str(path), "--pipeline",
+                 "GOLCF+H1", "--seed", "5", "--out", str(out),
+                 "--shards", str(shards), "--workers", "2"]
+            )
+            assert code == 0
+            outputs[shards] = out.read_text()
+        printed = capsys.readouterr().out
+        assert "sharded over 2 component(s)" in printed
+        # The schedule file is byte-identical for every --shards value.
+        assert outputs[1] == outputs[2] == outputs[4]
+        # And it validates against the instance.
+        assert main(
+            ["validate", "--instance", str(path), "--schedule",
+             str(tmp_path / "sharded1.json"), "--strict"]
+        ) == 0
+
     def test_bad_pipeline_is_error(self, instance_file, tmp_path, capsys):
         out = tmp_path / "s.json"
         code = main(
