@@ -7,6 +7,9 @@
 * :mod:`repro.analysis.bounds` — lower/upper bounds on implementation cost,
 * :mod:`repro.analysis.metrics` — the two metrics the paper reports plus
   general schedule statistics,
+* :mod:`repro.analysis.quality` — normalised plan-quality gauges (cost
+  gap vs the residual lower bound, dummy-traffic ratio, shard LPT
+  imbalance) published into the observability layer,
 * :mod:`repro.analysis.examples` — the paper's worked instances (Fig. 1
   deadlock, Fig. 3 walkthrough network).
 """
@@ -38,6 +41,12 @@ from repro.analysis.metrics import (
     implementation_cost,
     count_dummy_transfers,
 )
+from repro.analysis.quality import (
+    PlanQuality,
+    lpt_imbalance,
+    plan_quality,
+    record_plan_quality,
+)
 from repro.analysis.examples import (
     fig1_deadlock_instance,
     fig3_example_instance,
@@ -63,6 +72,10 @@ __all__ = [
     "schedule_stats",
     "implementation_cost",
     "count_dummy_transfers",
+    "PlanQuality",
+    "plan_quality",
+    "lpt_imbalance",
+    "record_plan_quality",
     "fig1_deadlock_instance",
     "fig3_example_instance",
 ]

@@ -1,0 +1,151 @@
+"""Plan-quality metrics: how good is a schedule, in gauge form.
+
+Condenses a finished plan into three normalised quality figures the
+observability layer can track across runs and fleets:
+
+* ``cost_gap`` — relative gap between the schedule's implementation
+  cost and the admissible :func:`repro.analysis.bounds.
+  residual_lower_bound` from the old placement (0.0 means the plan
+  meets the bound; the bound itself can be loose, so a positive gap is
+  an upper estimate of suboptimality);
+* ``dummy_traffic_ratio`` — fraction of transferred bytes sourced from
+  the dummy server (paper section IV: dummy transfers are the
+  infeasibility surcharge, so this is "how much of the traffic is
+  penalty traffic");
+* ``lpt_imbalance`` — max/mean bin load of the LPT shard packing
+  (1.0 = perfectly balanced; only meaningful for sharded plans).
+
+:func:`record_plan_quality` publishes them as gauges on a
+:class:`~repro.obs.metrics.MetricsRegistry`, from where the Prometheus
+and OTLP exporters (:mod:`repro.obs.export`) and ``rtsp-tool
+trace-summary`` pick them up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.bounds import residual_lower_bound
+from repro.model.actions import Transfer
+from repro.model.instance import RtspInstance
+from repro.model.schedule import Schedule
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["PlanQuality", "plan_quality", "lpt_imbalance", "record_plan_quality"]
+
+
+@dataclass(frozen=True)
+class PlanQuality:
+    """Normalised quality figures of one finished plan."""
+
+    cost: float
+    lower_bound: float
+    cost_gap: float
+    total_traffic: float
+    dummy_traffic: float
+    dummy_traffic_ratio: float
+    lpt_imbalance: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dict view for report writers and span attributes."""
+        return {
+            "cost": self.cost,
+            "lower_bound": self.lower_bound,
+            "cost_gap": self.cost_gap,
+            "total_traffic": self.total_traffic,
+            "dummy_traffic": self.dummy_traffic,
+            "dummy_traffic_ratio": self.dummy_traffic_ratio,
+            "lpt_imbalance": self.lpt_imbalance,
+        }
+
+
+def lpt_imbalance(
+    partition: object, bins: Optional[Sequence[Sequence[int]]]
+) -> float:
+    """Max/mean bin load of an LPT packing (1.0 when trivially balanced).
+
+    ``partition`` must expose ``parts[i].weight`` (a
+    :class:`~repro.shard.partition.Partition`); ``bins`` is the output
+    of :func:`~repro.shard.partition.pack_parts`. Empty or single-bin
+    packings are perfectly "balanced" by definition.
+    """
+    if bins is None or len(bins) <= 1:
+        return 1.0
+    parts = getattr(partition, "parts", None)
+    if parts is None:
+        return 1.0
+    loads: List[float] = []
+    for bin_indices in bins:
+        loads.append(
+            float(sum(parts[index].weight for index in bin_indices))
+        )
+    mean = sum(loads) / len(loads)
+    if mean <= 0.0:
+        return 1.0
+    return max(loads) / mean
+
+
+def plan_quality(
+    instance: RtspInstance,
+    schedule: Schedule,
+    cost: Optional[float] = None,
+    partition: object = None,
+    bins: Optional[Sequence[Sequence[int]]] = None,
+) -> PlanQuality:
+    """Compute :class:`PlanQuality` for ``schedule`` against ``instance``.
+
+    ``cost`` short-circuits the cost recomputation when the caller
+    already has it (e.g. :class:`~repro.shard.planner.ShardedPlan`).
+    ``partition``/``bins`` feed :func:`lpt_imbalance`; omit them for
+    unsharded plans.
+    """
+    if cost is None:
+        cost = schedule.cost(instance)
+    bound = residual_lower_bound(instance, instance.x_old)
+    if bound > 0.0:
+        gap = (cost - bound) / bound
+    else:
+        gap = 0.0 if cost <= 0.0 else float("inf")
+    dummy = instance.dummy
+    sizes = instance.sizes
+    total_traffic = 0.0
+    dummy_traffic = 0.0
+    for action in schedule:
+        if isinstance(action, Transfer):
+            size = float(sizes[action.obj])
+            total_traffic += size
+            if action.source == dummy:
+                dummy_traffic += size
+    ratio = dummy_traffic / total_traffic if total_traffic > 0.0 else 0.0
+    return PlanQuality(
+        cost=float(cost),
+        lower_bound=bound,
+        cost_gap=gap,
+        total_traffic=total_traffic,
+        dummy_traffic=dummy_traffic,
+        dummy_traffic_ratio=ratio,
+        lpt_imbalance=lpt_imbalance(partition, bins),
+    )
+
+
+def record_plan_quality(
+    quality: PlanQuality, registry: Optional[MetricsRegistry]
+) -> None:
+    """Publish ``quality`` as ``plan.*`` gauges on ``registry``.
+
+    No-op when ``registry`` is ``None`` (metrics off), so callers can
+    pass :func:`repro.obs.context.current_metrics` straight through.
+    The infinite gap of a zero lower bound is not a useful gauge value
+    and is skipped.
+    """
+    if registry is None:
+        return
+    if quality.cost_gap != float("inf"):
+        registry.gauge("plan.cost_gap").set(quality.cost_gap)
+    registry.gauge("plan.dummy_traffic_ratio").set(
+        quality.dummy_traffic_ratio
+    )
+    registry.gauge("plan.lpt_imbalance").set(quality.lpt_imbalance)
+    registry.gauge("plan.cost").set(quality.cost)
+    registry.gauge("plan.lower_bound").set(quality.lower_bound)

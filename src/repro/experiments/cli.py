@@ -36,7 +36,16 @@ from repro.experiments.robust_sweep import (
     run_robust_sweep,
 )
 from repro.experiments.runner import run_figure
-from repro.obs import MetricsRegistry, Tracer, observed, profiled
+from repro.obs import (
+    EventStream,
+    MetricsRegistry,
+    Tracer,
+    observed,
+    profiled,
+    render_event,
+    write_otlp,
+    write_prometheus,
+)
 from repro.util.errors import ConfigurationError
 
 
@@ -139,6 +148,38 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run under cProfile and print the hottest functions at the end",
     )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "render live structured heartbeat events (builder waves, "
+            "repair rounds) in addition to the per-cell progress lines"
+        ),
+    )
+    parser.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help="write the structured rtsp-events/1 event stream to PATH",
+    )
+    parser.add_argument(
+        "--prometheus",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the run's metrics in Prometheus text exposition "
+            "format to PATH (implies metrics collection)"
+        ),
+    )
+    parser.add_argument(
+        "--otlp",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the run's metrics (and spans, when tracing) as "
+            "OTLP-style JSON to PATH"
+        ),
+    )
     return parser
 
 
@@ -155,10 +196,25 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     tracer = (
         Tracer(meta={"figure": args.figure, "scale": scale.name})
-        if (args.trace or args.chrome_trace)
+        if (args.trace or args.chrome_trace or args.otlp)
         else None
     )
-    metrics = MetricsRegistry() if args.metrics_json else None
+    metrics = (
+        MetricsRegistry()
+        if (args.metrics_json or args.prometheus or args.otlp)
+        else None
+    )
+    events = None
+    if args.events or args.progress:
+        on_event = (
+            (lambda e: print("  " + render_event(e), flush=True))
+            if args.progress
+            else None
+        )
+        events = EventStream(
+            meta={"figure": args.figure, "scale": scale.name},
+            on_event=on_event,
+        )
 
     profile_report = None
     with ExitStack() as stack:
@@ -168,14 +224,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             from repro.flat import flat_mode_override
 
             stack.enter_context(flat_mode_override(args.flat))
-        stack.enter_context(observed(tracer=tracer, metrics=metrics))
+        stack.enter_context(
+            observed(tracer=tracer, metrics=metrics, events=events)
+        )
         if args.profile:
             profile_report = stack.enter_context(profiled())
         if args.figure.lower() == "robust":
             code = _run_robust(args, scale, progress)
         else:
             code = _run_figures(args, scale, progress)
-    _write_obs_artifacts(args, tracer, metrics, profile_report)
+    _write_obs_artifacts(args, tracer, metrics, events, profile_report)
     return code
 
 
@@ -207,17 +265,31 @@ def _run_figures(args, scale, progress) -> int:
     return 0
 
 
-def _write_obs_artifacts(args, tracer, metrics, profile_report) -> None:
-    """Write --trace / --chrome-trace / --metrics-json / --profile output."""
+def _write_obs_artifacts(args, tracer, metrics, events, profile_report) -> None:
+    """Write the observability artifacts the flags asked for."""
     if tracer is not None and args.trace:
         tracer.write_jsonl(args.trace)
         print(f"wrote {args.trace}")
     if tracer is not None and args.chrome_trace:
         tracer.write_chrome(args.chrome_trace)
         print(f"wrote {args.chrome_trace}")
-    if metrics is not None:
+    if metrics is not None and args.metrics_json:
         metrics.write_json(args.metrics_json)
         print(f"wrote {args.metrics_json}")
+    if metrics is not None and args.prometheus:
+        write_prometheus(metrics.snapshot(), args.prometheus)
+        print(f"wrote {args.prometheus}")
+    if args.otlp:
+        write_otlp(
+            args.otlp,
+            snapshot=metrics.snapshot() if metrics is not None else None,
+            spans=tracer.spans if tracer is not None else None,
+            meta={"figure": args.figure},
+        )
+        print(f"wrote {args.otlp}")
+    if events is not None and args.events:
+        events.write_jsonl(args.events)
+        print(f"wrote {args.events}")
     if profile_report is not None:
         print()
         print(profile_report.text)

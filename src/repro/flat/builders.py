@@ -40,15 +40,25 @@ from repro.flat.buffers import FlatActionBuffer, FlatSchedule
 from repro.flat.selector import FlatTransferSelector
 from repro.model.instance import RtspInstance
 from repro.model.state import CAPACITY_EPS, SystemState
-from repro.obs.context import current_metrics
+from repro.obs.context import current_events, current_metrics
 from repro.util.errors import ConfigurationError
 from repro.util.rng import ensure_rng
+
+#: Transfers between ``builder.progress`` heartbeat events. A count
+#: boundary, not a clock, so the event stream stays deterministic.
+_HEARTBEAT_EVERY = 256
 
 
 class _BuildCounters:
     """Metrics parity with the reference path (no-op when obs is off)."""
 
-    __slots__ = ("transfers", "dummy_transfers", "evictions")
+    __slots__ = (
+        "transfers",
+        "dummy_transfers",
+        "evictions",
+        "_events",
+        "_delivered",
+    )
 
     def __init__(self) -> None:
         registry = current_metrics()
@@ -60,12 +70,20 @@ class _BuildCounters:
             self.transfers = registry.counter("builder.transfers")
             self.dummy_transfers = registry.counter("builder.dummy_transfers")
             self.evictions = registry.counter("builder.evictions")
+        self._events = current_events()
+        self._delivered = 0
 
     def transferred(self, source: int, dummy: int) -> None:
         if self.transfers is not None:
             self.transfers.value += 1
             if source == dummy:
                 self.dummy_transfers.value += 1
+        if self._events is not None:
+            self._delivered += 1
+            if self._delivered % _HEARTBEAT_EVERY == 0:
+                self._events.emit(
+                    "builder.progress", transfers=self._delivered
+                )
 
     def evicted(self, count: int) -> None:
         if self.evictions is not None and count:

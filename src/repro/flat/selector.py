@@ -19,17 +19,28 @@ holder sets are tiny and the padded block stays narrow.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Iterable
+from typing import Dict, Iterable, List
 
 import numpy as np
 
 from repro.core.builders.common import PendingTransferSelector
+from repro.model.state import SystemState
+from repro.obs.context import current_events
 
 __all__ = ["FlatTransferSelector"]
 
 
 class FlatTransferSelector(PendingTransferSelector):
     """Reference selector semantics with one batched refresh per wave."""
+
+    def __init__(
+        self, state: SystemState, targets: Dict[int, List[int]]
+    ) -> None:
+        super().__init__(state, targets)
+        # Captured once (zero-overhead-when-off contract); wave numbers
+        # restart per selector, so heartbeats are deterministic.
+        self._events = current_events()
+        self._wave_no = 0
 
     def mark_dirty_many(self, objs: Iterable[int]) -> None:
         """Batch :meth:`mark_dirty` (replicator sets changed)."""
@@ -68,6 +79,18 @@ class FlatTransferSelector(PendingTransferSelector):
             total += n
         if not wave:
             return
+        if self._events is not None:
+            # Wave-boundary heartbeat: emitted only for batched waves
+            # (single-object repricings take the scalar path and are not
+            # wave boundaries). Wave index and sizes depend only on
+            # algorithm state, never on wall time or worker count.
+            self._wave_no += 1
+            self._events.emit(
+                "builder.wave",
+                wave=self._wave_no,
+                objects=len(dirty),
+                batched=len(wave),
+            )
         rows = np.empty(total, dtype=np.intp)      # pending targets
         dst = np.empty(total, dtype=np.intp)       # slots in self._cost
         sizes = np.empty(total, dtype=np.float64)  # object sizes

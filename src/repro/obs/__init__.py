@@ -1,7 +1,7 @@
-"""`repro.obs` — observability: tracing, metrics and profiling.
+"""`repro.obs` — observability: tracing, metrics, events and profiling.
 
 A zero-overhead-when-disabled instrumentation layer threaded through
-the build → simulate → repair pipeline. Three pillars:
+the build → simulate → repair pipeline. Five pillars:
 
 * :mod:`repro.obs.trace` — span-based :class:`Tracer` with nested
   spans, deterministic logical event numbering, versioned JSONL export
@@ -12,6 +12,15 @@ the build → simulate → repair pipeline. Three pillars:
   parallel figure runs aggregate worker statistics instead of dropping
   them. Wired into the nearest-source index, the builders' selector and
   benefit caches, both simulators, and the repair engine.
+* :mod:`repro.obs.events` — a live structured event stream
+  (``rtsp-events/1``: shard lifecycle, builder waves, repair rounds,
+  invariant failures) with worker-fragment merging, an ``on_event``
+  hook for live progress rendering, and the bounded
+  :class:`FlightRecorder` ring buffer that dumps the last moments
+  before a failure to disk.
+* :mod:`repro.obs.export` — Prometheus text exposition and OTLP-style
+  JSON for metrics snapshots and span lists, round-trippable for
+  validation.
 * :mod:`repro.obs.profile` — :class:`StageProfiler` (per-stage wall
   clocks; successor of ``repro.util.timing.Stopwatch``) plus opt-in
   cProfile (:func:`profiled`) and tracemalloc (:func:`trace_memory`)
@@ -33,11 +42,34 @@ a single ``None`` check. Example::
 """
 
 from repro.obs.context import (
+    current_events,
     current_metrics,
     current_tracer,
     observed,
+    use_events,
     use_metrics,
     use_tracer,
+)
+from repro.obs.events import (
+    EVENTS_FORMAT,
+    Event,
+    EventStream,
+    FlightRecorder,
+    flight_recorded,
+    load_events,
+    render_event,
+    validate_event_file,
+    validate_event_lines,
+)
+from repro.obs.export import (
+    metrics_to_otlp,
+    otlp_to_snapshot,
+    parse_prometheus_text,
+    prometheus_text,
+    sanitize_metric_name,
+    spans_to_otlp,
+    write_otlp,
+    write_prometheus,
 )
 from repro.obs.metrics import (
     METRICS_FORMAT,
@@ -55,6 +87,7 @@ from repro.obs.profile import (
     trace_memory,
 )
 from repro.obs.summary import (
+    ShardRow,
     SpanAggregate,
     TraceSummary,
     render_summary,
@@ -72,6 +105,25 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    # events
+    "EVENTS_FORMAT",
+    "Event",
+    "EventStream",
+    "FlightRecorder",
+    "flight_recorded",
+    "load_events",
+    "render_event",
+    "validate_event_lines",
+    "validate_event_file",
+    # export
+    "prometheus_text",
+    "parse_prometheus_text",
+    "metrics_to_otlp",
+    "otlp_to_snapshot",
+    "spans_to_otlp",
+    "sanitize_metric_name",
+    "write_prometheus",
+    "write_otlp",
     # trace
     "TRACE_FORMAT",
     "Span",
@@ -95,6 +147,7 @@ __all__ = [
     "trace_memory",
     "MemorySnapshot",
     # summary
+    "ShardRow",
     "SpanAggregate",
     "TraceSummary",
     "summarize_spans",
@@ -102,7 +155,9 @@ __all__ = [
     # context
     "current_tracer",
     "current_metrics",
+    "current_events",
     "use_tracer",
     "use_metrics",
+    "use_events",
     "observed",
 ]

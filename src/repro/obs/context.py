@@ -10,10 +10,13 @@ layer. Instead it asks this module for the *active* instruments:
 * :func:`current_metrics` — the active
   :class:`~repro.obs.metrics.MetricsRegistry`, or ``None`` when metrics
   are off (so hot paths can skip instrumentation with a single ``is
-  None`` check, captured once at construction time).
+  None`` check, captured once at construction time);
+* :func:`current_events` — the active
+  :class:`~repro.obs.events.EventStream`, or ``None`` when the event
+  stream is off (same single ``is None`` check contract as metrics).
 
 The context is installed with the :func:`use_tracer` / :func:`use_metrics`
-/ :func:`observed` context managers. It is deliberately a plain
+/ :func:`use_events` / :func:`observed` context managers. It is deliberately a plain
 process-global (not a thread/context variable): the workloads parallelize
 over *processes* (fork pools), where each worker installs its own
 context, and the zero-overhead-when-off contract rules out contextvar
@@ -25,19 +28,23 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator, Optional, Union
 
+from repro.obs.events import EventStream
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
     "current_tracer",
     "current_metrics",
+    "current_events",
     "use_tracer",
     "use_metrics",
+    "use_events",
     "observed",
 ]
 
 _active_tracer: Union[Tracer, NullTracer] = NULL_TRACER
 _active_metrics: Optional[MetricsRegistry] = None
+_active_events: Optional[EventStream] = None
 
 
 def current_tracer() -> Union[Tracer, NullTracer]:
@@ -48,6 +55,11 @@ def current_tracer() -> Union[Tracer, NullTracer]:
 def current_metrics() -> Optional[MetricsRegistry]:
     """The active metrics registry, or ``None`` when metrics are off."""
     return _active_metrics
+
+
+def current_events() -> Optional[EventStream]:
+    """The active event stream, or ``None`` when events are off."""
+    return _active_events
 
 
 @contextmanager
@@ -82,10 +94,26 @@ def use_metrics(registry: Optional[MetricsRegistry]) -> Iterator[None]:
 
 
 @contextmanager
+def use_events(stream: Optional[EventStream]) -> Iterator[None]:
+    """Install ``stream`` as the active event sink for the block.
+
+    ``None`` turns the event stream off for the block.
+    """
+    global _active_events
+    previous = _active_events
+    _active_events = stream
+    try:
+        yield
+    finally:
+        _active_events = previous
+
+
+@contextmanager
 def observed(
     tracer: Optional[Union[Tracer, NullTracer]] = None,
     metrics: Optional[MetricsRegistry] = None,
+    events: Optional[EventStream] = None,
 ) -> Iterator[None]:
-    """Install both instruments at once (either may be ``None``)."""
-    with use_tracer(tracer), use_metrics(metrics):
+    """Install all instruments at once (any may be ``None``)."""
+    with use_tracer(tracer), use_metrics(metrics), use_events(events):
         yield

@@ -1,0 +1,440 @@
+"""Exporters: Prometheus text exposition and OTLP-style JSON.
+
+Turns the in-process observability state — a
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` and a span list —
+into the two wire formats scrapers and collectors actually ingest:
+
+* :func:`prometheus_text` — the Prometheus text exposition format
+  (``# TYPE`` headers, ``_total`` counters, cumulative ``le`` histogram
+  buckets). :func:`parse_prometheus_text` reads it back into the same
+  snapshot layout, which is how the tests round-trip-validate the
+  exposition byte stream.
+* :func:`metrics_to_otlp` / :func:`spans_to_otlp` — OTLP-*style* JSON
+  (the field layout of ``ExportMetricsServiceRequest`` /
+  ``ExportTraceServiceRequest`` JSON encoding; no protobuf dependency).
+  :func:`otlp_to_snapshot` inverts the metrics direction for the same
+  round-trip guarantee. Span start/end stamps use the deterministic
+  logical timeline (sequence numbers as nanoseconds) so the export is
+  byte-stable across runs; wall durations ride along as attributes.
+
+Both exporters are pure functions over plain dicts: they never touch
+the live registry/tracer and cost nothing unless called.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.obs.metrics import METRICS_FORMAT, bucket_upper_bound
+from repro.obs.trace import Span
+from repro.util.errors import ConfigurationError
+
+__all__ = [
+    "prometheus_text",
+    "parse_prometheus_text",
+    "metrics_to_otlp",
+    "otlp_to_snapshot",
+    "spans_to_otlp",
+    "sanitize_metric_name",
+    "write_prometheus",
+    "write_otlp",
+]
+
+#: Characters legal in a Prometheus metric name after the first.
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+
+
+def sanitize_metric_name(name: str, prefix: str = "") -> str:
+    """Map a dotted instrument name onto the Prometheus grammar.
+
+    Dots (and anything else illegal) become underscores; an optional
+    ``prefix`` is prepended with an underscore separator.
+    """
+    base = _NAME_OK.sub("_", name)
+    if base and base[0].isdigit():
+        base = "_" + base
+    return f"{prefix}_{base}" if prefix else base
+
+
+def _fmt(value: float) -> str:
+    """Prometheus sample value rendering (repr-exact floats, ints plain)."""
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(
+    snapshot: Mapping[str, Any], prefix: str = "rtsp"
+) -> str:
+    """Render an ``rtsp-metrics/1`` snapshot as Prometheus exposition text.
+
+    Counters get a ``_total`` suffix, gauges are exported verbatim plus
+    a ``_updates_total`` companion, histograms expand to cumulative
+    ``_bucket{le="..."}`` series with ``_sum`` and ``_count`` (the
+    power-of-two bucket layout maps exactly onto ``le`` upper bounds).
+    Families are emitted in sorted name order so the byte stream is
+    deterministic.
+    """
+    fmt = snapshot.get("format")
+    if fmt != METRICS_FORMAT:
+        raise ConfigurationError(
+            f"cannot export snapshot with format {fmt!r} "
+            f"(expected {METRICS_FORMAT!r})"
+        )
+    lines: List[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        value = snapshot["counters"][name]
+        prom = sanitize_metric_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_fmt(float(value))}")
+    for name in sorted(snapshot.get("gauges", {})):
+        rec = snapshot["gauges"][name]
+        prom = sanitize_metric_name(name, prefix)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_fmt(float(rec['value']))}")
+        lines.append(f"# TYPE {prom}_updates_total counter")
+        lines.append(f"{prom}_updates_total {_fmt(float(rec['updates']))}")
+    for name in sorted(snapshot.get("histograms", {})):
+        rec = snapshot["histograms"][name]
+        prom = sanitize_metric_name(name, prefix)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for index in sorted(rec.get("buckets", {}), key=int):
+            cumulative += rec["buckets"][index]
+            le = _fmt(bucket_upper_bound(int(index)))
+            lines.append(f'{prom}_bucket{{le="{le}"}} {cumulative}')
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {rec["count"]}')
+        lines.append(f"{prom}_sum {_fmt(float(rec['total']))}")
+        lines.append(f"{prom}_count {rec['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Any]:
+    """Parse :func:`prometheus_text` output back into snapshot layout.
+
+    Supports exactly the subset the exporter emits (no labels other
+    than ``le``); used by the round-trip tests. Histogram ``min``/``max``
+    are not representable in the exposition format and come back as
+    ``None``.
+    """
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, Dict[str, float]] = {}
+    histograms: Dict[str, Dict[str, Any]] = {}
+    types: Dict[str, str] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        match = _LINE.match(line)
+        if match is None:
+            raise ConfigurationError(f"unparseable exposition line: {line!r}")
+        name = match.group("name")
+        value = float(match.group("value"))
+        labels = match.group("labels")
+        if name.endswith("_bucket"):
+            hist = histograms.setdefault(
+                name[: -len("_bucket")],
+                {"count": 0, "total": 0.0, "min": None, "max": None,
+                 "cumulative": []},
+            )
+            le_raw = (labels or "").split("=", 1)[1].strip('"')
+            le = math.inf if le_raw == "+Inf" else float(le_raw)
+            hist["cumulative"].append((le, int(value)))
+        elif name.endswith("_sum") and name[: -len("_sum")] in histograms:
+            histograms[name[: -len("_sum")]]["total"] = value
+        elif name.endswith("_count") and name[: -len("_count")] in histograms:
+            histograms[name[: -len("_count")]]["count"] = int(value)
+        elif types.get(name) == "counter" or name.endswith("_total"):
+            counters[name] = value
+        else:
+            gauges.setdefault(name, {"value": 0.0, "updates": 0})
+            gauges[name]["value"] = value
+    # Fold gauge _updates_total companions back into their gauge records,
+    # undo the counter _total suffix, and de-cumulate histogram buckets
+    # into the sparse snapshot layout.
+    for name in list(counters):
+        if name.endswith("_updates_total"):
+            base = name[: -len("_updates_total")]
+            if base in gauges:
+                gauges[base]["updates"] = int(counters.pop(name))
+    counters = {
+        (name[: -len("_total")] if name.endswith("_total") else name): value
+        for name, value in counters.items()
+    }
+    for rec in histograms.values():
+        sparse: Dict[str, int] = {}
+        previous = 0
+        for le, cumulative in sorted(rec.pop("cumulative")):
+            if math.isinf(le):
+                continue
+            delta = cumulative - previous
+            if delta:
+                sparse[str(int(math.log2(le)) if le >= 1 else 0)] = delta
+            previous = cumulative
+        rec["buckets"] = sparse
+    return {
+        "format": METRICS_FORMAT,
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+    }
+
+
+# ----------------------------------------------------------------------
+# OTLP-style JSON
+# ----------------------------------------------------------------------
+_SCOPE = {"name": "repro.obs", "version": "1"}
+
+
+def _attr_value(value: Any) -> Dict[str, Any]:
+    """One OTLP ``AnyValue``; non-scalar attributes serialize as JSON."""
+    if isinstance(value, bool):
+        return {"boolValue": value}
+    if isinstance(value, int):
+        return {"intValue": str(value)}
+    if isinstance(value, float):
+        return {"doubleValue": value}
+    if isinstance(value, str):
+        return {"stringValue": value}
+    return {"stringValue": json.dumps(value, sort_keys=True)}
+
+
+def _attributes(attrs: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    return [
+        {"key": key, "value": _attr_value(attrs[key])}
+        for key in sorted(attrs)
+    ]
+
+
+def metrics_to_otlp(
+    snapshot: Mapping[str, Any], resource: Optional[Mapping[str, Any]] = None
+) -> Dict[str, Any]:
+    """An OTLP-style ``ExportMetricsServiceRequest`` JSON document.
+
+    Counters become monotonic ``sum`` metrics, gauges become ``gauge``
+    metrics, histograms become ``histogram`` data points whose explicit
+    bounds are the power-of-two bucket upper bounds. Deterministic:
+    metric families are sorted by name and no timestamps are invented
+    (``timeUnixNano`` is 0 — the snapshot is a logical point in time).
+    """
+    fmt = snapshot.get("format")
+    if fmt != METRICS_FORMAT:
+        raise ConfigurationError(
+            f"cannot export snapshot with format {fmt!r} "
+            f"(expected {METRICS_FORMAT!r})"
+        )
+    metrics: List[Dict[str, Any]] = []
+    for name in sorted(snapshot.get("counters", {})):
+        metrics.append(
+            {
+                "name": name,
+                "sum": {
+                    "aggregationTemporality": 2,  # CUMULATIVE
+                    "isMonotonic": True,
+                    "dataPoints": [
+                        {
+                            "timeUnixNano": "0",
+                            "asDouble": float(snapshot["counters"][name]),
+                        }
+                    ],
+                },
+            }
+        )
+    for name in sorted(snapshot.get("gauges", {})):
+        rec = snapshot["gauges"][name]
+        metrics.append(
+            {
+                "name": name,
+                "gauge": {
+                    "dataPoints": [
+                        {
+                            "timeUnixNano": "0",
+                            "asDouble": float(rec["value"]),
+                            "attributes": _attributes(
+                                {"updates": int(rec["updates"])}
+                            ),
+                        }
+                    ]
+                },
+            }
+        )
+    for name in sorted(snapshot.get("histograms", {})):
+        rec = snapshot["histograms"][name]
+        indices = sorted(rec.get("buckets", {}), key=int)
+        bounds = [bucket_upper_bound(int(i)) for i in indices]
+        counts = [rec["buckets"][i] for i in indices]
+        overflow = rec["count"] - sum(counts)
+        point: Dict[str, Any] = {
+            "timeUnixNano": "0",
+            "count": str(rec["count"]),
+            "sum": float(rec["total"]),
+            "explicitBounds": bounds,
+            "bucketCounts": [str(c) for c in counts + [overflow]],
+        }
+        if rec.get("min") is not None:
+            point["min"] = float(rec["min"])
+        if rec.get("max") is not None:
+            point["max"] = float(rec["max"])
+        metrics.append(
+            {
+                "name": name,
+                "histogram": {
+                    "aggregationTemporality": 2,
+                    "dataPoints": [point],
+                },
+            }
+        )
+    return {
+        "resourceMetrics": [
+            {
+                "resource": {"attributes": _attributes(dict(resource or {}))},
+                "scopeMetrics": [{"scope": dict(_SCOPE), "metrics": metrics}],
+            }
+        ]
+    }
+
+
+def otlp_to_snapshot(doc: Mapping[str, Any]) -> Dict[str, Any]:
+    """Invert :func:`metrics_to_otlp` back into snapshot layout.
+
+    Only reads the subset the exporter writes; used by the round-trip
+    tests (``otlp_to_snapshot(metrics_to_otlp(s)) == s``).
+    """
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, Dict[str, Any]] = {}
+    histograms: Dict[str, Dict[str, Any]] = {}
+    for rm in doc.get("resourceMetrics", []):
+        for sm in rm.get("scopeMetrics", []):
+            for metric in sm.get("metrics", []):
+                name = metric["name"]
+                if "sum" in metric:
+                    point = metric["sum"]["dataPoints"][0]
+                    counters[name] = point["asDouble"]
+                elif "gauge" in metric:
+                    point = metric["gauge"]["dataPoints"][0]
+                    updates = 0
+                    for attr in point.get("attributes", []):
+                        if attr["key"] == "updates":
+                            updates = int(attr["value"]["intValue"])
+                    gauges[name] = {
+                        "value": point["asDouble"],
+                        "updates": updates,
+                    }
+                elif "histogram" in metric:
+                    point = metric["histogram"]["dataPoints"][0]
+                    bounds = point.get("explicitBounds", [])
+                    bucket_counts = [
+                        int(c) for c in point.get("bucketCounts", [])
+                    ]
+                    sparse = {}
+                    for bound, count in zip(bounds, bucket_counts):
+                        if count:
+                            index = 0 if bound <= 1 else int(math.log2(bound))
+                            sparse[str(index)] = count
+                    histograms[name] = {
+                        "count": int(point["count"]),
+                        "total": point["sum"],
+                        "min": point.get("min"),
+                        "max": point.get("max"),
+                        "buckets": sparse,
+                    }
+    return {
+        "format": METRICS_FORMAT,
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+    }
+
+
+def _span_id(value: Optional[int]) -> str:
+    """Fixed-width hex encoding of a logical span id (OTLP wants 8 bytes)."""
+    if value is None:
+        return ""
+    return format(value + 1, "016x")
+
+
+def spans_to_otlp(
+    spans: Sequence[Span],
+    meta: Optional[Mapping[str, Any]] = None,
+    trace_id: int = 1,
+) -> Dict[str, Any]:
+    """An OTLP-style ``ExportTraceServiceRequest`` JSON document.
+
+    Start/end stamps come from the deterministic logical timeline
+    (sequence numbers as nanoseconds) so the document is byte-stable
+    across runs and worker counts; the real wall duration is attached
+    as the ``wall_ms`` attribute. Parent links survive verbatim, which
+    is what makes cross-process nesting visible to OTLP consumers.
+    """
+    tid = format(trace_id, "032x")
+    out = []
+    for span in spans:
+        attrs = dict(span.attrs)
+        attrs["wall_ms"] = round(max(span.wall_duration, 0.0) * 1e3, 6)
+        for key, value in span.counters.items():
+            attrs[f"counter.{key}"] = value
+        out.append(
+            {
+                "traceId": tid,
+                "spanId": _span_id(span.span_id),
+                "parentSpanId": _span_id(span.parent_id),
+                "name": span.name,
+                "kind": 1,  # INTERNAL
+                "startTimeUnixNano": str(span.seq_start),
+                "endTimeUnixNano": str(span.seq_end),
+                "attributes": _attributes(attrs),
+            }
+        )
+    return {
+        "resourceSpans": [
+            {
+                "resource": {"attributes": _attributes(dict(meta or {}))},
+                "scopeSpans": [{"scope": dict(_SCOPE), "spans": out}],
+            }
+        ]
+    }
+
+
+def write_prometheus(
+    snapshot: Mapping[str, Any], path: str, prefix: str = "rtsp"
+) -> None:
+    """Write :func:`prometheus_text` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(prometheus_text(snapshot, prefix=prefix))
+
+
+def write_otlp(
+    path: str,
+    snapshot: Optional[Mapping[str, Any]] = None,
+    spans: Optional[Iterable[Span]] = None,
+    meta: Optional[Mapping[str, Any]] = None,
+) -> None:
+    """Write one JSON file bundling OTLP metrics and/or trace documents."""
+    payload: Dict[str, Any] = {}
+    if snapshot is not None:
+        payload.update(metrics_to_otlp(snapshot, resource=meta))
+    if spans is not None:
+        payload.update(spans_to_otlp(list(spans), meta=meta))
+    if not payload:
+        raise ConfigurationError(
+            "write_otlp needs a metrics snapshot, spans, or both"
+        )
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -4,16 +4,29 @@ Backs the ``repro tools trace-summary`` subcommand: aggregates a span
 list by name (count, total/mean wall time) and rolls every span's
 logical counters into one table, so a single trace file answers "where
 did the time go" and "what did the algorithms actually do".
+
+Merged shard traces (from :func:`repro.shard.plan_sharded`) get two
+extra sections: a per-shard breakdown keyed by the ``part`` attribute
+of the ``shard.plan`` spans (every descendant span is attributed to its
+owning shard), and the plan-quality gauges the planner annotates onto
+the ``plan_sharded`` root span (cost gap vs the residual lower bound,
+dummy-traffic ratio, LPT imbalance).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.obs.trace import Span
 
-__all__ = ["SpanAggregate", "TraceSummary", "summarize_spans", "render_summary"]
+__all__ = [
+    "ShardRow",
+    "SpanAggregate",
+    "TraceSummary",
+    "summarize_spans",
+    "render_summary",
+]
 
 
 @dataclass
@@ -31,12 +44,74 @@ class SpanAggregate:
 
 
 @dataclass
+class ShardRow:
+    """Aggregate over one shard's span subtree in a merged trace."""
+
+    part: int
+    servers: int = 0
+    spans: int = 0
+    wall: float = 0.0
+
+
+@dataclass
 class TraceSummary:
     """Aggregated view of one trace."""
 
     header: Dict[str, Any]
     spans: List[SpanAggregate] = field(default_factory=list)
     counters: Dict[str, float] = field(default_factory=dict)
+    shards: List[ShardRow] = field(default_factory=list)
+    quality: Dict[str, float] = field(default_factory=dict)
+
+
+#: Gauges the sharded planner annotates onto its ``plan_sharded`` span.
+_QUALITY_KEYS = ("cost", "cost_gap", "dummy_traffic_ratio", "lpt_imbalance")
+
+
+def _owning_part(
+    span: Span, by_id: Dict[int, Span]
+) -> Optional[int]:
+    """The ``part`` of the nearest enclosing ``shard.plan`` span, if any."""
+    current: Optional[Span] = span
+    while current is not None:
+        if current.name == "shard.plan" and "part" in current.attrs:
+            part = current.attrs["part"]
+            return int(part) if isinstance(part, (int, float)) else None
+        parent = current.parent_id
+        current = by_id.get(parent) if parent is not None else None
+    return None
+
+
+def _shard_rows(spans: Sequence[Span]) -> List[ShardRow]:
+    """Group merged shard spans by their owning ``shard.plan`` part key."""
+    by_id = {span.span_id: span for span in spans}
+    rows: Dict[int, ShardRow] = {}
+    for span in spans:
+        part = _owning_part(span, by_id)
+        if part is None:
+            continue
+        row = rows.get(part)
+        if row is None:
+            row = rows[part] = ShardRow(part=part)
+        row.spans += 1
+        if span.name == "shard.plan":
+            row.wall += max(span.wall_duration, 0.0)
+            servers = span.attrs.get("servers")
+            if isinstance(servers, (int, float)):
+                row.servers = int(servers)
+    return [rows[part] for part in sorted(rows)]
+
+
+def _quality_attrs(spans: Sequence[Span]) -> Dict[str, float]:
+    """Plan-quality gauges from the ``plan_sharded`` root span, if any."""
+    for span in spans:
+        if span.name == "plan_sharded":
+            return {
+                key: float(span.attrs[key])
+                for key in _QUALITY_KEYS
+                if isinstance(span.attrs.get(key), (int, float))
+            }
+    return {}
 
 
 def summarize_spans(
@@ -57,7 +132,13 @@ def summarize_spans(
         for key, value in span.counters.items():
             counters[key] = counters.get(key, 0) + value
     aggregates = sorted(by_name.values(), key=lambda a: -a.total_wall)
-    return TraceSummary(header=header, spans=aggregates, counters=counters)
+    return TraceSummary(
+        header=header,
+        spans=aggregates,
+        counters=counters,
+        shards=_shard_rows(spans),
+        quality=_quality_attrs(spans),
+    )
 
 
 def render_summary(summary: TraceSummary, top: int = 15) -> str:
@@ -90,4 +171,24 @@ def render_summary(summary: TraceSummary, top: int = 15) -> str:
             lines.append(f"  {name.ljust(width)} : {rendered}")
     else:
         lines.append("Counters: (none recorded)")
+    if summary.shards:
+        lines.append("")
+        lines.append("Per-shard breakdown:")
+        lines.append(
+            f"{'part':>6} {'servers':>8} {'spans':>7} {'wall':>10}"
+        )
+        lines.append("-" * 34)
+        for row in summary.shards:
+            lines.append(
+                f"{row.part:>6} {row.servers:>8} {row.spans:>7} "
+                f"{row.wall:>9.4f}s"
+            )
+    if summary.quality:
+        lines.append("")
+        lines.append("Plan quality:")
+        width = max(len(k) for k in summary.quality)
+        for name in sorted(summary.quality):
+            lines.append(
+                f"  {name.ljust(width)} : {summary.quality[name]:g}"
+            )
     return "\n".join(lines)

@@ -128,6 +128,10 @@ class Tracer:
         self._stack: List[Span] = []
         self._next_id = 0
         self._seq = 0
+        #: Whether any cross-process fragment was merged in (worker wall
+        #: clocks live in foreign perf_counter domains, so the wall
+        #: timeline of an adopted trace is incoherent).
+        self._adopted = False
 
     # ------------------------------------------------------------------
     # recording
@@ -152,6 +156,10 @@ class Tracer:
         """Attach attributes to the innermost open span (no-op outside)."""
         if self._stack:
             self._stack[-1].attrs.update(attrs)
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span, or ``None`` outside any span."""
+        return self._stack[-1] if self._stack else None
 
     def _open(self, name: str, attrs: Dict[str, Any]) -> Span:
         span = Span(
@@ -181,15 +189,36 @@ class Tracer:
     # ------------------------------------------------------------------
     # fragment merging (parallel workers)
     # ------------------------------------------------------------------
-    def adopt(self, spans: Iterable[Span]) -> None:
+    def adopt(
+        self, spans: Iterable[Span], parent_id: Optional[int] = None
+    ) -> None:
         """Append a completed fragment's spans, re-basing ids and seqs.
 
-        Fragments must be closed (no open spans); adopting them in a
-        deterministic order yields a merged logical timeline identical to
-        recording everything on this tracer in that order.
+        Fragments must themselves be closed (every adopted span has a
+        ``seq_end``); adopting them in a deterministic order yields a
+        merged logical timeline identical to recording everything on
+        this tracer in that order.
+
+        ``parent_id`` re-parents the fragment's *root* spans (those with
+        ``parent_id is None``) under an existing span of this tracer —
+        the cross-process linkage :class:`~repro.shard.pool.WorkQueue`
+        uses so worker shard spans nest under the coordinating
+        ``plan_sharded`` span instead of merging flat. It may name a
+        still-open span: the adopted seqs land inside the open span's
+        eventual ``[seq_start, seq_end]`` window (it closes later, at a
+        higher seq), preserving timeline containment. Without
+        ``parent_id``, adoption while spans are open is rejected —
+        silently attaching a fragment to whatever happens to be open
+        would make the merged tree depend on call context.
         """
-        if self._stack:
+        if self._stack and parent_id is None:
             raise ConfigurationError("cannot adopt spans while spans are open")
+        if parent_id is not None and not any(
+            s.span_id == parent_id for s in self.spans
+        ) and not any(s.span_id == parent_id for s in self._stack):
+            raise ConfigurationError(
+                f"adopt parent_id {parent_id} references no span of this tracer"
+            )
         spans = list(spans)
         if not spans:
             return
@@ -206,7 +235,7 @@ class Tracer:
                 Span(
                     span_id=span.span_id + id_base,
                     parent_id=(
-                        None
+                        parent_id
                         if span.parent_id is None
                         else span.parent_id + id_base
                     ),
@@ -223,6 +252,7 @@ class Tracer:
             max_seq = max(max_seq, span.seq_end)
         self._next_id = id_base + max_id + 1
         self._seq = seq_base + max_seq + 1
+        self._adopted = True
 
     # ------------------------------------------------------------------
     # export
@@ -260,19 +290,53 @@ class Tracer:
         with open(path, "w", encoding="utf-8") as fh:
             fh.write("\n".join(self.to_lines()) + "\n")
 
-    def chrome_events(self) -> List[Dict[str, Any]]:
-        """Chrome trace-event list (``ph: "X"`` complete events)."""
+    def _resolve_clock(self, clock: str) -> str:
+        """Resolve a chrome-export clock mode (``auto``/``wall``/``logical``)."""
+        if clock == "auto":
+            return "logical" if self._adopted else "wall"
+        if clock not in ("wall", "logical"):
+            raise ConfigurationError(
+                f"chrome clock must be 'auto', 'wall' or 'logical', "
+                f"got {clock!r}"
+            )
+        return clock
+
+    def chrome_events(self, clock: str = "auto") -> List[Dict[str, Any]]:
+        """Chrome trace-event list (``ph: "X"`` complete events).
+
+        ``clock`` picks the timeline:
+
+        * ``"wall"`` — raw ``perf_counter`` stamps. Correct nesting for
+          single-process traces; meaningless once worker fragments with
+          foreign clocks were adopted.
+        * ``"logical"`` — the deterministic sequence timeline
+          (``ts = seq_start``, ``dur = seq_end - seq_start``). Because a
+          child's seq window is strictly inside its parent's, Perfetto's
+          stack-based nesting reproduces the span tree exactly — adopted
+          worker spans nest under their cross-process parent. Wall-clock
+          milliseconds are preserved per event in ``args.wall_ms``.
+        * ``"auto"`` (default) — ``logical`` when fragments were adopted,
+          ``wall`` otherwise.
+        """
+        mode = self._resolve_clock(clock)
         events = []
         for span in self.spans:
             args = dict(span.attrs)
             if span.counters:
                 args["counters"] = span.counters
+            if mode == "logical":
+                args["wall_ms"] = round(max(span.wall_duration, 0.0) * 1e3, 6)
+                ts = float(span.seq_start)
+                dur = float(span.seq_end - span.seq_start)
+            else:
+                ts = span.wall_start * 1e6
+                dur = max(span.wall_duration, 0.0) * 1e6
             events.append(
                 {
                     "name": span.name,
                     "ph": "X",
-                    "ts": span.wall_start * 1e6,
-                    "dur": max(span.wall_duration, 0.0) * 1e6,
+                    "ts": ts,
+                    "dur": dur,
                     "pid": 0,
                     "tid": 0,
                     "args": args,
@@ -280,12 +344,13 @@ class Tracer:
             )
         return events
 
-    def write_chrome(self, path: str) -> None:
+    def write_chrome(self, path: str, clock: str = "auto") -> None:
         """Write a ``chrome://tracing`` / Perfetto compatible JSON file."""
+        mode = self._resolve_clock(clock)
         payload = {
-            "traceEvents": self.chrome_events(),
+            "traceEvents": self.chrome_events(clock=mode),
             "displayTimeUnit": "ms",
-            "otherData": dict(self.meta, format=TRACE_FORMAT),
+            "otherData": dict(self.meta, format=TRACE_FORMAT, clock=mode),
         }
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(payload, fh)
@@ -332,6 +397,9 @@ class NullTracer:
         return None
 
     def annotate(self, **attrs: Any) -> None:
+        return None
+
+    def current_span(self) -> None:
         return None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -440,7 +508,10 @@ def validate_trace_lines(lines: List[str]) -> List[str]:
         for key in ("attrs", "counters"):
             if key in rec and not isinstance(rec[key], dict):
                 errors.append(f"line {lineno}: {key!r} must be an object")
-        seen_ids.add(rec.get("id"))
+        span_id = rec["id"]
+        if span_id in seen_ids:
+            errors.append(f"line {lineno}: duplicate span id {span_id}")
+        seen_ids.add(span_id)
     if isinstance(declared, int) and declared != len(lines) - 1:
         errors.append(
             f"header declares {declared} spans but file contains {len(lines) - 1}"

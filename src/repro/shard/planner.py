@@ -36,11 +36,13 @@ from typing import Any, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.analysis.quality import plan_quality, record_plan_quality
 from repro.core.base import ScheduleBuilder
 from repro.core.pipeline import Pipeline, build_pipeline
 from repro.model.instance import RtspInstance
 from repro.model.schedule import KIND_TRANSFER, Schedule
-from repro.obs.context import current_metrics, current_tracer
+from repro.obs.context import current_events, current_metrics, current_tracer
+from repro.obs.events import EventStream
 from repro.shard.mmapcost import CostMatrixStore
 from repro.shard.partition import (
     Partition,
@@ -50,7 +52,7 @@ from repro.shard.partition import (
 )
 from repro.shard.pool import WorkQueue
 from repro.shard.subinstance import SubInstance, extract_subinstance
-from repro.util.errors import ConfigurationError
+from repro.util.errors import ConfigurationError, InvalidScheduleError
 from repro.util.rng import derive_seed
 
 __all__ = ["ShardStats", "ShardedPlan", "plan_sharded"]
@@ -170,6 +172,19 @@ def _plan_part(
             stats.cross_shard_dummies
         )
         registry.histogram("shard.plan.seconds").observe(seconds)
+    stream = current_events()
+    if stream is not None:
+        # Per-shard completion heartbeat: recorded into the worker's
+        # fragment, merged in task order, so the stream is identical
+        # for any worker count.
+        stream.emit(
+            "shard.part",
+            part=index,
+            servers=stats.num_servers,
+            actions=stats.num_actions,
+            cost=stats.cost,
+            cross_shard_dummies=stats.cross_shard_dummies,
+        )
     return (
         index,
         columns,
@@ -276,18 +291,90 @@ def plan_sharded(
         :data:`~repro.shard.mmapcost.MMAP_DEFAULT_BYTES`, so shard
         extraction reads only its own rows; ``True``/``False`` force.
     """
-    t_start = time.perf_counter()
     pipeline = _as_pipeline(builder)
     partition = resolve_partition(instance, partitioner)
     tracer = current_tracer()
     registry = current_metrics()
+    stream = current_events()
+
+    with tracer.span(
+        "plan_sharded", parts=len(partition.parts), workers=int(workers)
+    ):
+        # The event stream deliberately omits the worker count: events
+        # describe the *plan*, which is byte-identical for any pool
+        # size, so the logical stream must be too. The span records the
+        # execution config instead.
+        if stream is not None:
+            stream.emit(
+                "plan.start",
+                parts=len(partition.parts),
+                shards=0 if shards is None else int(shards),
+            )
+        plan = _plan_partitioned(
+            instance,
+            pipeline,
+            partition,
+            shards,
+            workers,
+            rng,
+            validate,
+            mmap_costs,
+            progress,
+            tracer,
+            registry,
+            stream,
+        )
+        quality = plan_quality(
+            instance,
+            plan.schedule,
+            cost=plan.cost,
+            partition=partition,
+            bins=plan.shards,
+        )
+        record_plan_quality(quality, registry)
+        finite_gap = quality.cost_gap != float("inf")
+        tracer.annotate(
+            cost=plan.cost,
+            cost_gap=quality.cost_gap if finite_gap else -1.0,
+            dummy_traffic_ratio=quality.dummy_traffic_ratio,
+            lpt_imbalance=quality.lpt_imbalance,
+        )
+        if stream is not None:
+            stream.emit(
+                "plan.done",
+                parts=len(partition.parts),
+                actions=plan.num_actions,
+                cost=plan.cost,
+                cost_gap=quality.cost_gap if finite_gap else -1.0,
+                dummy_traffic_ratio=quality.dummy_traffic_ratio,
+                lpt_imbalance=quality.lpt_imbalance,
+            )
+    return plan
+
+
+def _plan_partitioned(
+    instance: RtspInstance,
+    pipeline: Pipeline,
+    partition: Partition,
+    shards: Optional[int],
+    workers: int,
+    rng: Optional[int],
+    validate: bool,
+    mmap_costs: object,
+    progress: Optional[Any],
+    tracer: Any,
+    registry: Any,
+    stream: Optional[EventStream],
+) -> ShardedPlan:
+    """Plan a resolved partition (the body under the ``plan_sharded`` span)."""
+    t_start = time.perf_counter()
 
     if len(partition.parts) <= 1:
         # Single part: plan the original instance with the caller's rng,
         # byte-identical to unsharded planning.
         with tracer.span("shard.plan", part=0, servers=instance.num_servers):
             schedule = pipeline.run(instance, rng=rng)
-        report = _verify(instance, schedule, validate)
+        report = _verify(instance, schedule, validate, stream)
         stats = [
             ShardStats(
                 index=0,
@@ -336,6 +423,7 @@ def plan_sharded(
                 context=context,
                 metrics=registry,
                 tracer=tracer if getattr(tracer, "enabled", False) else None,
+                events=stream,
             )
     finally:
         store.close()
@@ -362,8 +450,10 @@ def plan_sharded(
                 f"{stat.num_actions} actions, cost={stat.cost:.6g}, "
                 f"cross-shard dummies={stat.cross_shard_dummies}"
             )
+    if stream is not None:
+        stream.emit("plan.stitch", parts=len(results), actions=len(kinds))
     schedule = Schedule.from_arrays(kinds, primary, objs, sources)
-    report = _verify(instance, schedule, validate)
+    report = _verify(instance, schedule, validate, stream)
     if registry is not None:
         registry.counter("shard.plans").inc()
     return ShardedPlan(
@@ -400,11 +490,35 @@ def _stitched_cost(
 
 
 def _verify(
-    instance: RtspInstance, schedule: Schedule, validate: bool
+    instance: RtspInstance,
+    schedule: Schedule,
+    validate: bool,
+    stream: Optional[EventStream] = None,
 ) -> Optional[Any]:
-    """Run the strict invariant oracle over the stitched schedule."""
+    """Run the strict invariant oracle over the stitched schedule.
+
+    On violation, records an ``invariant.violation`` event and — when
+    the active stream is backed by a :class:`~repro.obs.events.
+    FlightRecorder` with a dump path — flushes the recorder's ring to
+    disk before re-raising, so the final moments before the bad stitch
+    survive the crash.
+    """
     if not validate:
         return None
     from repro.exact.validate import assert_invariants
 
-    return assert_invariants(instance, schedule, context="plan_sharded stitch")
+    try:
+        return assert_invariants(
+            instance, schedule, context="plan_sharded stitch"
+        )
+    except InvalidScheduleError as exc:
+        if stream is not None:
+            stream.emit(
+                "invariant.violation",
+                context="plan_sharded stitch",
+                error=str(exc),
+            )
+            recorder = stream.recorder
+            if recorder is not None and recorder.path is not None:
+                recorder.dump(reason="invariant violation")
+        raise

@@ -55,6 +55,34 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="process-pool size for --shards (default 1: serial)",
     )
+    p.add_argument(
+        "--progress",
+        action="store_true",
+        help="render live heartbeat events (shard completions, builder "
+        "waves) on the terminal",
+    )
+    p.add_argument(
+        "--events",
+        metavar="PATH",
+        help="write the structured rtsp-events/1 stream here",
+    )
+    p.add_argument(
+        "--prometheus",
+        metavar="PATH",
+        help="write run metrics in Prometheus text exposition format",
+    )
+    p.add_argument(
+        "--otlp",
+        metavar="PATH",
+        help="write run metrics and trace spans as OTLP-style JSON",
+    )
+    p.add_argument(
+        "--flight-record",
+        metavar="PATH",
+        help="keep a bounded flight-recorder ring over the event stream "
+        "and dump it here on a crash or invariant violation "
+        "(nothing is written on success)",
+    )
 
     p = sub.add_parser("validate", help="replay a schedule against an instance")
     p.add_argument("--instance", required=True)
@@ -120,29 +148,90 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_schedule(args) -> int:
+    from repro.obs import (
+        EventStream,
+        FlightRecorder,
+        MetricsRegistry,
+        Tracer,
+        observed,
+        render_event,
+        write_otlp,
+        write_prometheus,
+    )
+
     instance = load_instance(args.instance)
     pipeline = build_pipeline(args.pipeline)
-    if args.shards is not None:
-        from repro.shard import plan_sharded
 
-        plan = plan_sharded(
-            instance,
-            pipeline,
-            shards=args.shards,
-            workers=args.workers,
-            rng=args.seed,
-            progress=lambda line: print("  " + line),
+    on_event = (lambda e: print("  " + render_event(e))) if args.progress else None
+    recorder = (
+        FlightRecorder(path=args.flight_record) if args.flight_record else None
+    )
+    stream: Optional[EventStream] = None
+    if args.events or args.progress or recorder is not None:
+        stream = EventStream(
+            meta={"tool": "schedule", "pipeline": args.pipeline},
+            on_event=on_event,
+            recorder=recorder,
         )
-        schedule = plan.schedule
-        print(
-            f"sharded over {len(plan.partition.parts)} component(s) in "
-            f"{len(plan.shards)} shard(s), workers={args.workers}, "
-            f"cross-shard dummies={plan.cross_shard_dummies}"
-        )
-    else:
-        schedule = pipeline.run(instance, rng=args.seed)
+    registry = MetricsRegistry() if (args.prometheus or args.otlp) else None
+    tracer = Tracer() if args.otlp else None
+
+    try:
+        with observed(tracer=tracer, metrics=registry, events=stream):
+            if args.shards is not None:
+                from repro.shard import plan_sharded
+
+                plan = plan_sharded(
+                    instance,
+                    pipeline,
+                    shards=args.shards,
+                    workers=args.workers,
+                    rng=args.seed,
+                    progress=(
+                        None
+                        if args.progress
+                        else lambda line: print("  " + line)
+                    ),
+                )
+                schedule = plan.schedule
+                print(
+                    f"sharded over {len(plan.partition.parts)} component(s) in "
+                    f"{len(plan.shards)} shard(s), workers={args.workers}, "
+                    f"cross-shard dummies={plan.cross_shard_dummies}"
+                )
+            else:
+                if stream is not None:
+                    stream.emit("plan.start", parts=1, shards=0)
+                schedule = pipeline.run(instance, rng=args.seed)
+                if stream is not None:
+                    stream.emit(
+                        "plan.done", parts=1, actions=len(schedule)
+                    )
+    except BaseException as exc:
+        if recorder is not None:
+            recorder.note(
+                "exception", error=type(exc).__name__, message=str(exc)[:500]
+            )
+            recorder.dump(reason=f"exception: {type(exc).__name__}")
+            print(f"flight recorder dumped to {args.flight_record}",
+                  file=sys.stderr)
+        raise
     stats = schedule_stats(schedule, instance)
     save_schedule(schedule, args.out)
+    if args.events and stream is not None:
+        stream.write_jsonl(args.events)
+        print(f"wrote {args.events}")
+    if args.prometheus and registry is not None:
+        write_prometheus(registry.snapshot(), args.prometheus)
+        print(f"wrote {args.prometheus}")
+    if args.otlp and registry is not None:
+        write_otlp(
+            args.otlp,
+            snapshot=registry.snapshot(),
+            spans=tracer.spans if tracer is not None else None,
+            meta={"tool": "schedule", "pipeline": args.pipeline},
+        )
+        print(f"wrote {args.otlp}")
     print(
         f"{pipeline.name}: {stats.num_actions} actions, "
         f"cost={stats.cost:,.6g}, dummy transfers={stats.num_dummy_transfers}"

@@ -1,0 +1,198 @@
+"""Round-trip tests for the Prometheus and OTLP-style exporters."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    metrics_to_otlp,
+    otlp_to_snapshot,
+    parse_prometheus_text,
+    prometheus_text,
+    sanitize_metric_name,
+    spans_to_otlp,
+    write_otlp,
+    write_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.util.errors import ConfigurationError
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("builder.transfers").inc(41)
+    registry.counter("shard.parts_planned").inc(3)
+    registry.gauge("plan.cost_gap").set(0.25)
+    registry.gauge("plan.lpt_imbalance").set(1.5)
+    hist = registry.histogram("shard.plan.seconds")
+    for value in (0.5, 0.5, 3.0, 100.0):
+        hist.observe(value)
+    return registry
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert sanitize_metric_name("a.b.c") == "a_b_c"
+
+    def test_prefix_prepended(self):
+        assert sanitize_metric_name("a.b", "rtsp") == "rtsp_a_b"
+
+    def test_leading_digit_guarded(self):
+        assert sanitize_metric_name("9lives")[0] == "_"
+
+    def test_illegal_chars_replaced(self):
+        assert sanitize_metric_name("a-b c/d") == "a_b_c_d"
+
+
+class TestPrometheus:
+    def test_counters_get_total_suffix(self):
+        text = prometheus_text(populated_registry().snapshot())
+        assert "# TYPE rtsp_builder_transfers_total counter" in text
+        assert "rtsp_builder_transfers_total 41" in text
+
+    def test_gauges_verbatim_with_updates_companion(self):
+        text = prometheus_text(populated_registry().snapshot())
+        assert "rtsp_plan_cost_gap 0.25" in text
+        assert "rtsp_plan_cost_gap_updates_total 1" in text
+
+    def test_histogram_buckets_cumulative(self):
+        text = prometheus_text(populated_registry().snapshot(), prefix="")
+        lines = [
+            line for line in text.splitlines()
+            if line.startswith("shard_plan_seconds_bucket")
+        ]
+        # le values ascend and counts are cumulative, ending at +Inf.
+        assert lines[-1] == 'shard_plan_seconds_bucket{le="+Inf"} 4'
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts)
+        assert "shard_plan_seconds_count 4" in text
+        assert "shard_plan_seconds_sum 104" in text
+
+    def test_deterministic_output(self):
+        a = prometheus_text(populated_registry().snapshot())
+        b = prometheus_text(populated_registry().snapshot())
+        assert a == b
+
+    def test_round_trip(self):
+        """Everything survives except the (lossy) name sanitization."""
+        snapshot = populated_registry().snapshot()
+        parsed = parse_prometheus_text(prometheus_text(snapshot, prefix=""))
+        assert parsed["counters"] == {
+            sanitize_metric_name(name): float(value)
+            for name, value in snapshot["counters"].items()
+        }
+        assert parsed["gauges"] == {
+            sanitize_metric_name(name): rec
+            for name, rec in snapshot["gauges"].items()
+        }
+        for name, rec in snapshot["histograms"].items():
+            back = parsed["histograms"][sanitize_metric_name(name)]
+            assert back["buckets"] == rec["buckets"]
+            assert back["count"] == rec["count"]
+            assert back["total"] == rec["total"]
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ConfigurationError):
+            prometheus_text({"format": "bogus/1"})
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            parse_prometheus_text("!!! not exposition")
+
+    def test_write_prometheus(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        write_prometheus(populated_registry().snapshot(), str(path))
+        assert "rtsp_builder_transfers_total" in path.read_text()
+
+
+class TestOtlpMetrics:
+    def test_round_trip_exact(self):
+        snapshot = populated_registry().snapshot()
+        assert otlp_to_snapshot(metrics_to_otlp(snapshot)) == snapshot
+
+    def test_counters_are_monotonic_sums(self):
+        doc = metrics_to_otlp(populated_registry().snapshot())
+        metrics = doc["resourceMetrics"][0]["scopeMetrics"][0]["metrics"]
+        sums = {m["name"]: m["sum"] for m in metrics if "sum" in m}
+        assert sums["builder.transfers"]["isMonotonic"] is True
+        point = sums["builder.transfers"]["dataPoints"][0]
+        assert point["asDouble"] == 41.0
+        assert point["timeUnixNano"] == "0"  # logical time, not invented
+
+    def test_resource_attributes_carried(self):
+        doc = metrics_to_otlp(
+            populated_registry().snapshot(), resource={"run": "x"}
+        )
+        attrs = doc["resourceMetrics"][0]["resource"]["attributes"]
+        assert {"key": "run", "value": {"stringValue": "x"}} in attrs
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ConfigurationError):
+            metrics_to_otlp({"format": "bogus/1"})
+
+
+class TestOtlpSpans:
+    def make_trace(self) -> Tracer:
+        tracer = Tracer()
+        with tracer.span("plan_sharded", parts=2):
+            with tracer.span("shard.plan", part=0):
+                pass
+        return tracer
+
+    def test_parent_links_survive(self):
+        tracer = self.make_trace()
+        doc = spans_to_otlp(tracer.spans)
+        spans = doc["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        by_name = {s["name"]: s for s in spans}
+        child, root = by_name["shard.plan"], by_name["plan_sharded"]
+        assert child["parentSpanId"] == root["spanId"]
+        assert root["parentSpanId"] == ""
+
+    def test_logical_timestamps_deterministic(self):
+        """Stamps come from seq numbers; only wall_ms varies across runs."""
+
+        def normalized(doc):
+            spans = doc["resourceSpans"][0]["scopeSpans"][0]["spans"]
+            for span in spans:
+                assert int(span["endTimeUnixNano"]) > int(
+                    span["startTimeUnixNano"]
+                )
+                span["attributes"] = [
+                    attr for attr in span["attributes"]
+                    if attr["key"] != "wall_ms"
+                ]
+            return json.dumps(doc, sort_keys=True)
+
+        assert normalized(spans_to_otlp(self.make_trace().spans)) == (
+            normalized(spans_to_otlp(self.make_trace().spans))
+        )
+
+    def test_wall_and_counters_ride_as_attributes(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            tracer.count("hits", 3)
+        doc = spans_to_otlp(tracer.spans)
+        span = doc["resourceSpans"][0]["scopeSpans"][0]["spans"][0]
+        keys = {attr["key"] for attr in span["attributes"]}
+        assert "wall_ms" in keys and "counter.hits" in keys
+
+
+class TestWriteOtlp:
+    def test_bundles_metrics_and_spans(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        path = tmp_path / "otlp.json"
+        write_otlp(
+            str(path),
+            snapshot=populated_registry().snapshot(),
+            spans=tracer.spans,
+            meta={"tool": "test"},
+        )
+        doc = json.loads(path.read_text())
+        assert "resourceMetrics" in doc and "resourceSpans" in doc
+
+    def test_requires_some_payload(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_otlp(str(tmp_path / "x.json"))

@@ -29,6 +29,13 @@ class TestInstruments:
         assert g.value == 1.5
         assert g.updates == 2
 
+    def test_histogram_mean_empty_is_zero(self):
+        # Regression: must not raise ZeroDivisionError before the first
+        # observation (repr hits .mean too).
+        h = Histogram("h")
+        assert h.mean == 0.0
+        assert "mean=0" in repr(h)
+
     def test_histogram_stats(self):
         h = Histogram("h")
         for v in (1, 2, 4, 100):

@@ -1,0 +1,100 @@
+"""Tests for trace-summary shard grouping and plan-quality surfacing."""
+
+from repro.obs.summary import (
+    ShardRow,
+    SpanAggregate,
+    render_summary,
+    summarize_spans,
+)
+from repro.obs.trace import Span
+
+
+def _span(span_id, parent_id, name, seq, wall=(0.0, 0.1), attrs=None):
+    return Span(
+        span_id=span_id,
+        parent_id=parent_id,
+        name=name,
+        seq_start=seq[0],
+        seq_end=seq[1],
+        wall_start=wall[0],
+        wall_end=wall[1],
+        attrs=attrs or {},
+    )
+
+
+def merged_shard_spans():
+    """A hand-built plan_sharded trace: 2 shards, one stage each."""
+    return [
+        _span(0, None, "plan_sharded", (0, 11), (0.0, 1.0),
+              {"parts": 2, "cost_gap": 0.5, "dummy_traffic_ratio": 0.1,
+               "lpt_imbalance": 1.25, "cost": 100.0}),
+        _span(1, 0, "shard.pool", (1, 10), (0.0, 0.9)),
+        _span(2, 1, "shard.plan", (2, 5), (0.1, 0.4),
+              {"part": 0, "servers": 8}),
+        _span(3, 2, "stage", (3, 4), (0.1, 0.3)),
+        _span(4, 1, "shard.plan", (6, 9), (0.4, 0.8),
+              {"part": 1, "servers": 6}),
+        _span(5, 4, "stage", (7, 8), (0.4, 0.6)),
+    ]
+
+
+class TestShardGrouping:
+    def test_rows_keyed_by_part(self):
+        summary = summarize_spans({}, merged_shard_spans())
+        assert [row.part for row in summary.shards] == [0, 1]
+
+    def test_descendants_attributed_to_owning_shard(self):
+        summary = summarize_spans({}, merged_shard_spans())
+        by_part = {row.part: row for row in summary.shards}
+        # shard.plan + its stage child
+        assert by_part[0].spans == 2
+        assert by_part[1].spans == 2
+
+    def test_shard_wall_and_servers(self):
+        summary = summarize_spans({}, merged_shard_spans())
+        by_part = {row.part: row for row in summary.shards}
+        assert by_part[0].servers == 8
+        assert by_part[1].servers == 6
+        assert abs(by_part[0].wall - 0.3) < 1e-9
+
+    def test_unsharded_trace_has_no_rows(self):
+        spans = [_span(0, None, "pipeline", (0, 1))]
+        summary = summarize_spans({}, spans)
+        assert summary.shards == []
+        assert summary.quality == {}
+
+    def test_quality_read_from_root_span(self):
+        summary = summarize_spans({}, merged_shard_spans())
+        assert summary.quality == {
+            "cost": 100.0,
+            "cost_gap": 0.5,
+            "dummy_traffic_ratio": 0.1,
+            "lpt_imbalance": 1.25,
+        }
+
+    def test_render_includes_sections(self):
+        text = render_summary(summarize_spans({}, merged_shard_spans()))
+        assert "Per-shard breakdown:" in text
+        assert "Plan quality:" in text
+        assert "cost_gap" in text
+
+    def test_render_without_shards_omits_sections(self):
+        text = render_summary(
+            summarize_spans({}, [_span(0, None, "pipeline", (0, 1))])
+        )
+        assert "Per-shard breakdown:" not in text
+        assert "Plan quality:" not in text
+
+
+class TestZeroObservationGuards:
+    def test_mean_wall_zero_count(self):
+        # Regression: empty aggregate must not divide by zero.
+        assert SpanAggregate("s").mean_wall == 0.0
+
+    def test_shard_row_defaults(self):
+        row = ShardRow(part=0)
+        assert row.spans == 0 and row.wall == 0.0
+
+    def test_render_empty_summary(self):
+        text = render_summary(summarize_spans({}, []))
+        assert "no spans recorded" in text

@@ -1,68 +1,102 @@
-"""Tests for repro.util.timing."""
+"""Tests for the deprecated :mod:`repro.util.timing` shim.
+
+The real timing API lives in :mod:`repro.obs.profile`
+(:class:`StageProfiler`); these tests pin the shim's contract — the old
+``Stopwatch`` surface keeps working but warns — while the behavioral
+tests below run against ``StageProfiler`` directly.
+"""
 
 import time
 
-from repro.util.timing import Stopwatch, timed
+import pytest
+
+from repro.obs.profile import StageProfiler, timed
+from repro.util.timing import Stopwatch
 
 
-class TestStopwatch:
-    def test_lap_records_time(self):
-        sw = Stopwatch()
+def deprecated_stopwatch() -> Stopwatch:
+    with pytest.warns(DeprecationWarning, match="StageProfiler"):
+        return Stopwatch()
+
+
+class TestStopwatchShim:
+    def test_construction_warns(self):
+        deprecated_stopwatch()
+
+    def test_is_a_stage_profiler(self):
+        assert isinstance(deprecated_stopwatch(), StageProfiler)
+
+    def test_lap_alias_still_records(self):
+        sw = deprecated_stopwatch()
         with sw.lap("work"):
             time.sleep(0.01)
         assert sw.laps["work"] >= 0.005
 
+    def test_plain_profiler_does_not_warn(self, recwarn):
+        StageProfiler()
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]
+
+
+class TestStageProfiler:
+    def test_stage_records_time(self):
+        profiler = StageProfiler()
+        with profiler.stage("work"):
+            time.sleep(0.01)
+        assert profiler.laps["work"] >= 0.005
+
     def test_laps_accumulate(self):
-        sw = Stopwatch()
-        sw.add("a", 1.0)
-        sw.add("a", 2.0)
-        assert sw.laps["a"] == 3.0
+        profiler = StageProfiler()
+        profiler.add("a", 1.0)
+        profiler.add("a", 2.0)
+        assert profiler.laps["a"] == 3.0
 
     def test_total(self):
-        sw = Stopwatch()
-        sw.add("a", 1.0)
-        sw.add("b", 2.0)
-        assert sw.total == 3.0
+        profiler = StageProfiler()
+        profiler.add("a", 1.0)
+        profiler.add("b", 2.0)
+        assert profiler.total == 3.0
 
     def test_report_contains_names(self):
-        sw = Stopwatch()
-        sw.add("build", 0.5)
-        sw.add("optimize", 1.5)
-        report = sw.report()
+        profiler = StageProfiler()
+        profiler.add("build", 0.5)
+        profiler.add("optimize", 1.5)
+        report = profiler.report()
         assert "build" in report and "optimize" in report
-        # longest lap first
+        # longest stage first
         assert report.index("optimize") < report.index("build")
 
     def test_empty_report(self):
-        assert "no laps" in Stopwatch().report()
+        assert "no laps" in StageProfiler().report()
 
 
 class TestTimedDecorator:
     def test_records_each_call(self):
-        sw = Stopwatch()
+        profiler = StageProfiler()
 
-        @timed(sw)
+        @timed(profiler)
         def f(x):
             return x * 2
 
         assert f(2) == 4
         assert f(3) == 6
-        assert "f" in sw.laps
+        assert "f" in profiler.laps
 
     def test_custom_name(self):
-        sw = Stopwatch()
+        profiler = StageProfiler()
 
-        @timed(sw, "custom")
+        @timed(profiler, "custom")
         def g():
             return 1
 
         g()
-        assert "custom" in sw.laps
+        assert "custom" in profiler.laps
 
     def test_records_on_exception(self):
-        sw = Stopwatch()
+        profiler = StageProfiler()
 
-        @timed(sw)
+        @timed(profiler)
         def boom():
             raise ValueError
 
@@ -70,4 +104,4 @@ class TestTimedDecorator:
             boom()
         except ValueError:
             pass
-        assert "boom" in sw.laps
+        assert "boom" in profiler.laps
