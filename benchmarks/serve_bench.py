@@ -1,0 +1,304 @@
+"""Loopback load test for the planning service, with an SLO gate.
+
+Boots an in-process :class:`~repro.serve.server.ServerHandle` and
+drives it with closed-loop clients (locust-style: each worker thread
+issues its next request the moment the previous response lands), over
+real sockets on 127.0.0.1. Standalone — no pytest dependency — so the
+CI serve-smoke job and local runs share one entry point::
+
+    PYTHONPATH=src python benchmarks/serve_bench.py --tier small \
+        --out benchmarks/results/BENCH_serve_current.json
+
+Each tier plans a pool of paper-shaped instances; every unique
+``(instance, pipeline, seed)`` is requested by several clients, so the
+run measures both cold plans and topology-hash cache replays. Every
+response is schema-checked, and one sampled response per unique key is
+compared byte-for-byte against the in-process
+``build_pipeline(...).run(...)`` path — the load test doubles as a
+differential check of the wire format.
+
+The SLO gate is **blocking** (exit code 1): p99 sync-plan latency and
+closed-loop throughput must meet the tier's thresholds. Thresholds are
+deliberately generous (~20x local headroom) so only real regressions —
+an accidental O(n^2) in the serialisation path, a lock across planning,
+a broken cache — trip them, not hosted-runner noise.
+
+Output: ``{"benchmarks": [{"name", "stats": {"mean"}}]}`` (the
+``benchmarks/conftest.py`` shape), so ``benchmarks/diff_results.py``
+diffs runs against the committed ``BENCH_serve.json`` baseline; the
+``slo`` block records the gate verdict alongside.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Tuple
+
+from repro.core.pipeline import build_pipeline
+from repro.io import instance_to_dict, schedule_to_dict
+from repro.serve import ServeClient, ServeConfig, ServerHandle, canonical_json
+from repro.serve.schemas import PLAN_RESPONSE_FORMAT, check_response_format
+from repro.workloads import paper_instance
+
+#: tier -> workload + closed-loop shape
+TIERS: Dict[str, Dict[str, Any]] = {
+    # 4 clients x 10 requests over 4 unique keys on 20x100 instances:
+    # every key is planned cold once and replayed ~9x from cache.
+    "small": dict(
+        servers=20, objects=100, unique=4, clients=4, requests=10, workers=2
+    ),
+    # 6 clients x 12 requests over 6 unique keys on 50x500 instances.
+    "medium": dict(
+        servers=50, objects=500, unique=6, clients=6, requests=12, workers=3
+    ),
+}
+
+#: tier -> SLO thresholds (the blocking gate)
+SLOS: Dict[str, Dict[str, float]] = {
+    "small": {"p99_seconds": 2.0, "min_rps": 4.0},
+    "medium": {"p99_seconds": 8.0, "min_rps": 1.0},
+}
+
+PIPELINE = "GOLCF+H1"
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 1]) of a non-empty sample."""
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[index]
+
+
+def build_pool(tier: str, seed: int) -> List[Tuple[Dict[str, Any], int]]:
+    """The tier's unique request keys: (serialised instance, seed)."""
+    spec = TIERS[tier]
+    pool = []
+    for index in range(spec["unique"]):
+        instance = paper_instance(
+            replicas=2,
+            num_servers=spec["servers"],
+            num_objects=spec["objects"],
+            rng=seed + index,
+        )
+        pool.append((instance_to_dict(instance), index))
+    return pool
+
+
+class ClosedLoopClient(threading.Thread):
+    """One closed-loop worker: request, record, repeat."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        url: str,
+        pool: List[Tuple[Dict[str, Any], int]],
+        requests: int,
+        start_gate: threading.Event,
+    ) -> None:
+        super().__init__(name=f"bench-client-{worker_id}", daemon=True)
+        self.worker_id = worker_id
+        self.client = ServeClient(url, timeout=120.0)
+        self.pool = pool
+        self.requests = requests
+        self.start_gate = start_gate
+        self.latencies: List[Tuple[bool, float]] = []  # (cache_hit, seconds)
+        self.errors: List[str] = []
+
+    def run(self) -> None:
+        self.start_gate.wait()
+        for i in range(self.requests):
+            instance_dict, seed = self.pool[
+                (self.worker_id + i) % len(self.pool)
+            ]
+            t0 = time.perf_counter()
+            try:
+                status, payload = self.client.plan(
+                    instance_dict=instance_dict,
+                    pipeline=PIPELINE,
+                    seed=seed,
+                )
+            except Exception as exc:  # noqa: BLE001 - recorded, not fatal
+                self.errors.append(f"transport error: {exc}")
+                continue
+            elapsed = time.perf_counter() - t0
+            if status != 200:
+                self.errors.append(f"status {status}: {payload}")
+                continue
+            try:
+                check_response_format(payload, PLAN_RESPONSE_FORMAT)
+            except Exception as exc:  # noqa: BLE001 - recorded, not fatal
+                self.errors.append(f"schema violation: {exc}")
+                continue
+            self.latencies.append((bool(payload["cache_hit"]), elapsed))
+
+
+def differential_check(
+    url: str, pool: List[Tuple[Dict[str, Any], int]]
+) -> None:
+    """Served schedules must be byte-identical to the library path."""
+    from repro.io import instance_from_dict
+
+    client = ServeClient(url, timeout=120.0)
+    instance_dict, seed = pool[0]
+    status, payload = client.plan(
+        instance_dict=instance_dict, pipeline=PIPELINE, seed=seed
+    )
+    if status != 200:
+        raise AssertionError(f"differential plan failed: {status} {payload}")
+    instance = instance_from_dict(instance_dict)
+    reference = schedule_to_dict(
+        build_pipeline(PIPELINE).run(instance, rng=seed)
+    )
+    if canonical_json(payload["schedule"]) != canonical_json(reference):
+        raise AssertionError(
+            "served schedule differs from the library path "
+            f"(pipeline={PIPELINE}, seed={seed})"
+        )
+
+
+def run_tier(tier: str, seed: int, verbose: bool = True) -> Dict[str, Any]:
+    spec = TIERS[tier]
+    slo = SLOS[tier]
+    pool = build_pool(tier, seed)
+    config = ServeConfig(workers=spec["workers"], max_pending=256)
+    with ServerHandle.start(config=config) as handle:
+        # Warm nothing: the first request per key measures a cold plan.
+        differential_errors: List[str] = []
+        start_gate = threading.Event()
+        clients = [
+            ClosedLoopClient(i, handle.url, pool, spec["requests"], start_gate)
+            for i in range(spec["clients"])
+        ]
+        for client in clients:
+            client.start()
+        wall_start = time.perf_counter()
+        start_gate.set()
+        for client in clients:
+            client.join()
+        wall = time.perf_counter() - wall_start
+        try:
+            differential_check(handle.url, pool)
+        except AssertionError as exc:
+            differential_errors.append(str(exc))
+        health = ServeClient(handle.url).healthz()
+
+    errors = [e for c in clients for e in c.errors] + differential_errors
+    all_lat = [sec for c in clients for (_, sec) in c.latencies]
+    cold = [sec for c in clients for (hit, sec) in c.latencies if not hit]
+    hits = [sec for c in clients for (hit, sec) in c.latencies if hit]
+    completed = len(all_lat)
+    if not all_lat:
+        raise AssertionError(f"no successful requests; errors: {errors[:5]}")
+    rps = completed / wall if wall > 0 else 0.0
+    p50 = percentile(all_lat, 0.50)
+    p99 = percentile(all_lat, 0.99)
+
+    benchmarks = [
+        {"name": f"serve[{tier}].plan.p50", "stats": {"mean": p50}},
+        {"name": f"serve[{tier}].plan.p99", "stats": {"mean": p99}},
+        {
+            "name": f"serve[{tier}].plan.throughput_rps",
+            "stats": {"mean": rps},
+        },
+    ]
+    if cold:
+        benchmarks.append(
+            {
+                "name": f"serve[{tier}].plan_cold.p50",
+                "stats": {"mean": percentile(cold, 0.50)},
+            }
+        )
+    if hits:
+        benchmarks.append(
+            {
+                "name": f"serve[{tier}].plan_cached.p50",
+                "stats": {"mean": percentile(hits, 0.50)},
+            }
+        )
+
+    slo_failures: List[str] = []
+    if errors:
+        slo_failures.append(f"{len(errors)} failed requests: {errors[:3]}")
+    if p99 > slo["p99_seconds"]:
+        slo_failures.append(
+            f"p99 {p99:.3f}s exceeds the {slo['p99_seconds']:g}s SLO"
+        )
+    if rps < slo["min_rps"]:
+        slo_failures.append(
+            f"throughput {rps:.2f} req/s below the {slo['min_rps']:g} req/s SLO"
+        )
+
+    result = {
+        "benchmarks": benchmarks,
+        "meta": {
+            "tier": tier,
+            "pipeline": PIPELINE,
+            "seed": seed,
+            "clients": spec["clients"],
+            "requests_per_client": spec["requests"],
+            "unique_keys": spec["unique"],
+            "completed": completed,
+            "cold_plans": len(cold),
+            "cache_replays": len(hits),
+            "wall_seconds": wall,
+            "health_status": health[0],
+        },
+        "slo": {
+            "p99_seconds": slo["p99_seconds"],
+            "min_rps": slo["min_rps"],
+            "observed_p99_seconds": p99,
+            "observed_rps": rps,
+            "passed": not slo_failures,
+            "failures": slo_failures,
+        },
+    }
+    if verbose:
+        print(
+            f"[{tier}] {completed} requests ({len(cold)} cold, "
+            f"{len(hits)} cached) in {wall:.2f}s -> {rps:.1f} req/s, "
+            f"p50 {p50 * 1e3:.1f} ms, p99 {p99 * 1e3:.1f} ms"
+        )
+        for failure in slo_failures:
+            print(f"[{tier}] SLO FAIL: {failure}")
+        if not slo_failures:
+            print(
+                f"[{tier}] SLO OK: p99 <= {slo['p99_seconds']:g}s, "
+                f"throughput >= {slo['min_rps']:g} req/s, "
+                "schema + byte-identity checks passed"
+            )
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tier", choices=sorted(TIERS), default="small",
+        help="workload size (default: small)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="instance seed")
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="write benchmark JSON here (diff_results.py shape)",
+    )
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    result = run_tier(args.tier, args.seed, verbose=not args.quiet)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+        if not args.quiet:
+            print(f"wrote {args.out}")
+    if not result["slo"]["passed"]:
+        print("serve_bench: SLO gate FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,226 @@
+"""Topology-hash keyed caching for the planning service.
+
+Two caches sit behind ``POST /v1/plan``:
+
+* :class:`TopologyStore` — the extended cost matrix keyed by its
+  canonical :func:`topology_hash`. Matrices are the one ``O(M^2)``
+  request component; clients upload them once and re-plan with
+  placement deltas that reference the hash. Large matrices spill to a
+  read-only memmap via :class:`repro.shard.mmapcost.CostMatrixStore`
+  so a busy server does not hold every fleet's matrix in RAM.
+* :class:`PlanCache` — finished plan responses keyed by the full
+  instance fingerprint plus ``(pipeline, seed, shards)``. Planning is
+  deterministic per key, so a hit can replay the canonical response
+  bytes without re-running the builder.
+
+Both hashes are canonical: arrays are reduced to a fixed dtype and
+C-order before hashing, so the same logical instance hashes identically
+regardless of how the client serialised it. Two instances that share a
+cost matrix but differ in placements collide on ``topology_hash`` *by
+design* (that is the reuse) and are separated by
+:func:`instance_fingerprint`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.model.instance import RtspInstance
+from repro.shard.mmapcost import MMAP_DEFAULT_BYTES, CostMatrixStore
+
+__all__ = [
+    "topology_hash",
+    "instance_fingerprint",
+    "TopologyStore",
+    "PlanCache",
+]
+
+
+def _digest_arrays(tag: str, *arrays: Tuple[str, np.ndarray, Any]) -> str:
+    """sha256 over dtype-normalised array bytes (shape included)."""
+    h = hashlib.sha256()
+    h.update(tag.encode("ascii"))
+    for name, array, dtype in arrays:
+        canon = np.ascontiguousarray(np.asarray(array, dtype=dtype))
+        h.update(name.encode("ascii"))
+        h.update(repr(canon.shape).encode("ascii"))
+        h.update(canon.tobytes())
+    return "sha256:" + h.hexdigest()
+
+
+def topology_hash(costs: np.ndarray) -> str:
+    """Canonical hash of an extended cost matrix.
+
+    Deterministic across runs and processes; two matrices hash equally
+    iff they are element-wise identical after float64 normalisation.
+    """
+    return _digest_arrays("rtsp-topology/1", ("costs", costs, np.float64))
+
+
+def instance_fingerprint(instance: RtspInstance) -> str:
+    """Canonical hash of a full instance (topology + sizes + placements)."""
+    return _digest_arrays(
+        "rtsp-instance/1",
+        ("costs", instance.costs, np.float64),
+        ("sizes", instance.sizes, np.float64),
+        ("capacities", instance.capacities, np.float64),
+        ("x_old", instance.x_old, np.uint8),
+        ("x_new", instance.x_new, np.uint8),
+    )
+
+
+class TopologyStore:
+    """Bounded LRU of cost matrices keyed by :func:`topology_hash`.
+
+    ``spill`` follows :meth:`CostMatrixStore.from_matrix` semantics
+    (``"auto"`` memmaps matrices above ``threshold_bytes``). Evicted and
+    closed entries unlink their spill files. Thread-safe.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 32,
+        spill: object = "auto",
+        threshold_bytes: int = MMAP_DEFAULT_BYTES,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.spill = spill
+        self.threshold_bytes = threshold_bytes
+        self._entries: "OrderedDict[str, CostMatrixStore]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def register(self, costs: np.ndarray) -> Tuple[str, bool]:
+        """Remember ``costs``; returns ``(hash, newly_stored)``."""
+        key = topology_hash(costs)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return key, False
+        # Spill outside the lock: writing a large matrix to disk must
+        # not serialise unrelated lookups.
+        store = CostMatrixStore.from_matrix(
+            np.asarray(costs, dtype=np.float64),
+            spill=self.spill,
+            threshold_bytes=self.threshold_bytes,
+        )
+        evicted = None
+        with self._lock:
+            if key in self._entries:  # lost a registration race
+                self._entries.move_to_end(key)
+                evicted = store
+            else:
+                self._entries[key] = store
+                if len(self._entries) > self.max_entries:
+                    _, evicted = self._entries.popitem(last=False)
+        if evicted is not None:
+            evicted.close()
+        return key, evicted is not store
+
+    def get(self, key: str) -> Optional[np.ndarray]:
+        """The matrix for ``key``, or ``None`` (counts a hit/miss)."""
+        with self._lock:
+            store = self._entries.get(key)
+            if store is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+        return store.matrix
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            spilled = sum(1 for s in self._entries.values() if s.spilled)
+            return {
+                "entries": len(self._entries),
+                "spilled": spilled,
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+    def close(self) -> None:
+        """Drop every entry and unlink spill files."""
+        with self._lock:
+            entries = list(self._entries.values())
+            self._entries.clear()
+        for store in entries:
+            store.close()
+
+    def __enter__(self) -> "TopologyStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class PlanCache:
+    """Bounded LRU of canonical plan-response JSON strings.
+
+    Keys are ``(instance_fingerprint, pipeline, seed, shards)``; the
+    value is the response's canonical JSON, so :meth:`get` hands back a
+    fresh dict each time (callers may annotate it without corrupting
+    the cache). Thread-safe.
+    """
+
+    def __init__(self, max_entries: int = 128) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Tuple, str]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(
+        fingerprint: str, pipeline: str, seed: int, shards: Optional[int]
+    ) -> Tuple[str, str, int, Optional[int]]:
+        """The cache key for one deterministic planning run."""
+        return (fingerprint, pipeline, int(seed), shards)
+
+    def get(self, key: Tuple) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            blob = self._entries.get(key)
+            if blob is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+        return json.loads(blob)
+
+    def put(self, key: Tuple, payload: Dict[str, Any]) -> None:
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            self._entries[key] = blob
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+            }

@@ -1,0 +1,566 @@
+"""Transport-independent planning service.
+
+:class:`PlanningService` is everything behind the HTTP endpoints with
+the sockets stripped away: it parses versioned payloads
+(:mod:`repro.serve.schemas`), runs plans on a bounded
+:class:`~repro.serve.jobs.JobQueue`, caches by topology hash
+(:mod:`repro.serve.cache`) and answers ``(status, payload)`` tuples.
+The HTTP layer (:mod:`repro.serve.server`) and the tests drive the
+same object, so every 4xx/5xx path is testable without a socket.
+
+Determinism contract: a served schedule is **byte-identical** to what
+``build_pipeline(spec).run(instance, rng=seed)`` produces in-process
+for the same ``(instance, pipeline, seed)`` — cached or not, sharded
+or not (sharded planning is itself byte-identical to direct planning
+per part-count, see :mod:`repro.shard`). The differential tests in
+``tests/serve/`` enforce this.
+
+Deep progress: at most one running job at a time additionally installs
+its progress stream as the process-global observability context (the
+context is deliberately a plain global, see :mod:`repro.obs.context`),
+so builder-wave heartbeats and shard completions flow into the job's
+``rtsp-events/1`` stream — and every such event doubles as a
+cancellation/timeout checkpoint. Concurrent jobs still plan correctly;
+they just report coarser (job-level) progress.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import ExitStack
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.analysis.metrics import schedule_stats
+from repro.core.pipeline import build_pipeline
+from repro.io import fault_plan_from_dict, schedule_from_dict, schedule_to_dict
+from repro.model.instance import RtspInstance
+from repro.obs.context import use_events, use_metrics
+from repro.obs.events import EventStream
+from repro.obs.export import prometheus_text
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.cache import (
+    PlanCache,
+    TopologyStore,
+    instance_fingerprint,
+)
+from repro.serve.jobs import (
+    DONE,
+    JobCancelled,
+    JobContext,
+    JobNotFound,
+    JobQueue,
+    JobTimeout,
+    QueueFull,
+)
+from repro.serve.schemas import (
+    BATCH_REQUEST_FORMAT,
+    BATCH_RESPONSE_FORMAT,
+    HEALTH_FORMAT,
+    PLAN_RESPONSE_FORMAT,
+    REPAIR_RESPONSE_FORMAT,
+    VALIDATE_RESPONSE_FORMAT,
+    PlanRequest,
+    SchemaError,
+    error_payload,
+    plan_request_from_dict,
+    repair_request_from_dict,
+    validate_request_from_dict,
+)
+from repro.util.errors import (
+    ConfigurationError,
+    InfeasibleInstanceError,
+    InvalidActionError,
+    InvalidScheduleError,
+    RepairExhaustedError,
+    RtspError,
+)
+
+__all__ = ["ServeConfig", "PlanningService", "UnknownTopologyError"]
+
+
+class UnknownTopologyError(RtspError):
+    """A delta referenced a topology hash the server does not hold."""
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables for one :class:`PlanningService`."""
+
+    #: Worker threads draining the job queue (bounds plan concurrency).
+    workers: int = 2
+    #: Back-pressure bound: submissions beyond this return 429.
+    max_pending: int = 64
+    #: Finished plan responses kept for replay.
+    plan_cache_entries: int = 128
+    #: Cost matrices kept for delta re-planning.
+    topology_entries: int = 32
+    #: Default per-job timeout (seconds); ``None`` means unbounded.
+    default_timeout: Optional[float] = None
+    #: Reject request bodies larger than this (transport-enforced).
+    max_body_bytes: int = 64 * 1024 * 1024
+    #: Allow one job at a time to install deep (builder-level) progress.
+    deep_progress: bool = True
+    #: Cost-matrix spill policy (see :class:`CostMatrixStore`).
+    spill: object = "auto"
+
+
+def _status_for(exc: BaseException) -> Tuple[int, str]:
+    """Map an exception to ``(http status, stable error code)``."""
+    if isinstance(exc, SchemaError):
+        return 400, "bad-request"
+    if isinstance(exc, UnknownTopologyError):
+        return 404, "unknown-topology"
+    if isinstance(exc, JobNotFound):
+        return 404, "unknown-job"
+    if isinstance(exc, QueueFull):
+        return 429, "queue-full"
+    if isinstance(exc, JobTimeout):
+        return 504, "timeout"
+    if isinstance(exc, JobCancelled):
+        return 409, "cancelled"
+    if isinstance(exc, InfeasibleInstanceError):
+        return 422, "infeasible-instance"
+    if isinstance(exc, (InvalidScheduleError, InvalidActionError)):
+        return 422, "invalid-schedule"
+    if isinstance(exc, RepairExhaustedError):
+        return 422, "repair-exhausted"
+    if isinstance(exc, ConfigurationError):
+        return 400, "bad-request"
+    if isinstance(exc, RtspError):
+        return 422, "unprocessable"
+    return 500, "internal-error"
+
+
+class PlanningService:
+    """The planning endpoints as plain methods returning (status, payload)."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self.queue = JobQueue(
+            workers=self.config.workers, max_pending=self.config.max_pending
+        )
+        self.plan_cache = PlanCache(max_entries=self.config.plan_cache_entries)
+        self.topologies = TopologyStore(
+            max_entries=self.config.topology_entries, spill=self.config.spill
+        )
+        self.metrics = MetricsRegistry()
+        self._mlock = threading.Lock()
+        self._deep_lock = threading.Lock()
+        self._started = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the queue down and drop cached matrices."""
+        self.queue.shutdown()
+        self.topologies.close()
+
+    def __enter__(self) -> "PlanningService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # metrics helpers (serve-side instruments share the registry with
+    # builder-side deep instrumentation; guard our own bumps)
+    # ------------------------------------------------------------------
+    def _count(self, name: str, n: float = 1) -> None:
+        with self._mlock:
+            self.metrics.counter(name).inc(n)
+
+    def _observe_ms(self, name: str, seconds: float) -> None:
+        with self._mlock:
+            self.metrics.histogram(name).observe(seconds * 1000.0)
+
+    # ------------------------------------------------------------------
+    # POST /v1/plan
+    # ------------------------------------------------------------------
+    def plan(self, data: Any) -> Tuple[int, Dict[str, Any]]:
+        """Handle one plan (or batch) submission."""
+        self._count("serve.requests.plan")
+        try:
+            if (
+                isinstance(data, Mapping)
+                and data.get("format") == BATCH_REQUEST_FORMAT
+            ):
+                return self._plan_batch(data)
+            request = plan_request_from_dict(data)
+            return self._plan_one(request)
+        except BaseException as exc:  # noqa: BLE001 - mapped to a status
+            return self._error(exc)
+
+    def _plan_batch(self, data: Mapping[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        from repro.serve.schemas import batch_request_from_dict
+
+        requests = batch_request_from_dict(data)
+        responses: List[Dict[str, Any]] = []
+        worst = 200
+        for request in requests:
+            try:
+                status, payload = self._plan_one(request)
+            except BaseException as exc:  # noqa: BLE001 - mapped per entry
+                status, payload = self._error(exc)
+            responses.append({"status": status, "response": payload})
+            worst = max(worst, status)
+        # The batch itself succeeded if it parsed; per-entry statuses
+        # ride inside. 200 iff every entry planned.
+        status = 200 if worst < 300 else 207
+        return status, {"format": BATCH_RESPONSE_FORMAT, "responses": responses}
+
+    def _plan_one(self, request: PlanRequest) -> Tuple[int, Dict[str, Any]]:
+        started = time.perf_counter()
+        instance, topo_key = self._resolve_instance(request)
+        fingerprint = instance_fingerprint(instance)
+        key = PlanCache.key(
+            fingerprint, request.pipeline, request.seed, request.shards
+        )
+        # Fail fast on a bad pipeline spec (400) before queueing work.
+        build_pipeline(request.pipeline)
+        if request.mode == "sync":
+            cached = self._cache_lookup(key, started)
+            if cached is not None:
+                return 200, cached
+        timeout = (
+            request.timeout_seconds
+            if request.timeout_seconds is not None
+            else self.config.default_timeout
+        )
+        job = self.queue.submit(
+            lambda ctx: self._run_plan(
+                ctx, request, instance, fingerprint, topo_key, key
+            ),
+            kind="plan",
+            timeout_seconds=timeout,
+            meta={"pipeline": request.pipeline, "seed": request.seed},
+        )
+        self._count("serve.jobs.submitted")
+        if request.mode == "async":
+            return 202, job.snapshot()
+        job.wait()
+        self._count(f"serve.jobs.{job.state}")
+        if job.state == DONE:
+            self._observe_ms(
+                "serve.plan.millis", time.perf_counter() - started
+            )
+            return 200, job.result
+        assert job.error is not None
+        return self._error(job.error)
+
+    def _cache_lookup(
+        self, key: Tuple, started: float
+    ) -> Optional[Dict[str, Any]]:
+        payload = self.plan_cache.get(key)
+        if payload is None:
+            self._count("serve.cache.plan.misses")
+            return None
+        self._count("serve.cache.plan.hits")
+        payload["cache_hit"] = True
+        payload["elapsed_seconds"] = time.perf_counter() - started
+        self._observe_ms("serve.plan.millis", payload["elapsed_seconds"])
+        return payload
+
+    def _resolve_instance(
+        self, request: PlanRequest
+    ) -> Tuple[RtspInstance, str]:
+        """The full instance plus its (registered) topology hash."""
+        if request.instance is not None:
+            instance = request.instance
+            topo_key, _ = self.topologies.register(instance.costs)
+            return instance, topo_key
+        assert request.delta is not None
+        costs = self.topologies.get(request.delta.topology)
+        if costs is None:
+            raise UnknownTopologyError(
+                f"no cached cost matrix for {request.delta.topology!r}; "
+                "submit a full instance first"
+            )
+        instance = request.delta.realize(costs)
+        return instance, request.delta.topology
+
+    def _run_plan(
+        self,
+        ctx: JobContext,
+        request: PlanRequest,
+        instance: RtspInstance,
+        fingerprint: str,
+        topo_key: str,
+        key: Tuple,
+    ) -> Dict[str, Any]:
+        started = time.perf_counter()
+        # Async submissions race sync ones for the same key; replay a
+        # response that landed while this job sat in the queue.
+        payload = self.plan_cache.get(key)
+        if payload is not None:
+            self._count("serve.cache.plan.hits")
+            ctx.emit("plan.cached", fingerprint=fingerprint)
+            payload["cache_hit"] = True
+            payload["elapsed_seconds"] = time.perf_counter() - started
+            return payload
+        self._count("serve.cache.plan.misses")
+        ctx.emit(
+            "plan.start",
+            pipeline=request.pipeline,
+            seed=request.seed,
+            servers=instance.num_servers,
+            objects=instance.num_objects,
+            shards=request.shards or 0,
+        )
+        schedule = self._build_schedule(ctx, request, instance)
+        ctx.check()
+        self._validate_schedule(request.validate, instance, schedule)
+        stats = schedule_stats(schedule, instance)
+        elapsed = time.perf_counter() - started
+        ctx.emit(
+            "plan.done",
+            actions=stats.num_actions,
+            cost=stats.cost,
+            dummy_transfers=stats.num_dummy_transfers,
+        )
+        payload = {
+            "format": PLAN_RESPONSE_FORMAT,
+            "job_id": ctx.job.id,
+            "pipeline": request.pipeline,
+            "seed": request.seed,
+            "topology": topo_key,
+            "fingerprint": fingerprint,
+            "cache_hit": False,
+            "cost": stats.cost,
+            "dummy_transfers": stats.num_dummy_transfers,
+            "num_actions": stats.num_actions,
+            "schedule": schedule_to_dict(schedule),
+            "elapsed_seconds": elapsed,
+        }
+        if request.shards is not None:
+            payload["shards"] = request.shards
+        self.plan_cache.put(key, payload)
+        return payload
+
+    def _build_schedule(
+        self, ctx: JobContext, request: PlanRequest, instance: RtspInstance
+    ):
+        deep = self.config.deep_progress and self._deep_lock.acquire(
+            blocking=False
+        )
+        try:
+            with ExitStack() as stack:
+                if deep:
+                    # Builder heartbeats land on the job stream and act
+                    # as cancellation checkpoints. One deep job at a
+                    # time: the obs context is process-global.
+                    def _forward(event: Any) -> None:
+                        ctx.job.record(event.name, **event.attrs)
+                        ctx.check()
+
+                    deep_stream = EventStream(
+                        meta={"job": ctx.job.id}, on_event=_forward
+                    )
+                    stack.enter_context(use_events(deep_stream))
+                    stack.enter_context(use_metrics(self.metrics))
+                if request.shards is not None:
+                    from repro.shard import plan_sharded
+
+                    plan = plan_sharded(
+                        instance,
+                        request.pipeline,
+                        shards=request.shards,
+                        workers=1,
+                        rng=request.seed,
+                        mmap_costs=False,
+                    )
+                    return plan.schedule
+                pipeline = build_pipeline(request.pipeline)
+                return pipeline.run(instance, rng=request.seed)
+        finally:
+            if deep:
+                self._deep_lock.release()
+
+    @staticmethod
+    def _validate_schedule(mode: Optional[str], instance, schedule) -> None:
+        if mode is None:
+            return
+        if mode == "basic":
+            report = schedule.validate(instance)
+            if not report.ok:
+                raise InvalidScheduleError(report.message, report.position)
+            return
+        from repro.exact.validate import check_invariants
+
+        strict = check_invariants(instance, schedule)
+        if not strict.ok:
+            raise InvalidScheduleError(strict.summary())
+
+    # ------------------------------------------------------------------
+    # POST /v1/validate
+    # ------------------------------------------------------------------
+    def validate(self, data: Any) -> Tuple[int, Dict[str, Any]]:
+        """Replay a schedule against an instance; optionally strict."""
+        self._count("serve.requests.validate")
+        try:
+            request = validate_request_from_dict(data)
+            schedule = schedule_from_dict(request.schedule)
+        except BaseException as exc:  # noqa: BLE001 - mapped to a status
+            return self._error(exc)
+        report = schedule.validate(request.instance)
+        violations: List[Dict[str, Any]] = []
+        if not report.ok:
+            violations.append(
+                {
+                    "rule": "model-replay",
+                    "position": report.position,
+                    "message": report.message,
+                }
+            )
+        payload: Dict[str, Any] = {
+            "format": VALIDATE_RESPONSE_FORMAT,
+            "ok": report.ok,
+            "strict": request.strict,
+            "cost": report.cost,
+            "dummy_transfers": report.dummy_transfers,
+            "num_actions": len(schedule),
+            "violations": violations,
+        }
+        if request.strict and report.ok:
+            from repro.exact.validate import check_invariants
+
+            strict_report = check_invariants(request.instance, schedule)
+            payload["ok"] = strict_report.ok
+            payload["cost"] = strict_report.cost
+            payload["dummy_transfers"] = strict_report.dummy_transfers
+            payload["violations"] = [
+                {
+                    "rule": v.rule,
+                    "position": v.position,
+                    "message": v.message,
+                }
+                for v in strict_report.violations
+            ]
+        return 200, payload
+
+    # ------------------------------------------------------------------
+    # POST /v1/repair
+    # ------------------------------------------------------------------
+    def repair(self, data: Any) -> Tuple[int, Dict[str, Any]]:
+        """Execute a faulted transition with online repair."""
+        self._count("serve.requests.repair")
+        try:
+            request = repair_request_from_dict(data)
+            plan = fault_plan_from_dict(request.fault_plan)
+            build_pipeline(request.pipeline)
+        except BaseException as exc:  # noqa: BLE001 - mapped to a status
+            return self._error(exc)
+        job = None
+        try:
+            job = self.queue.submit(
+                lambda ctx: self._run_repair(ctx, request, plan),
+                kind="repair",
+                timeout_seconds=self.config.default_timeout,
+                meta={"pipeline": request.pipeline},
+            )
+            self._count("serve.jobs.submitted")
+            job.wait()
+        except BaseException as exc:  # noqa: BLE001 - mapped to a status
+            return self._error(exc)
+        self._count(f"serve.jobs.{job.state}")
+        if job.state == DONE:
+            return 200, job.result
+        assert job.error is not None
+        return self._error(job.error)
+
+    def _run_repair(self, ctx: JobContext, request, plan) -> Dict[str, Any]:
+        from repro.robust import RepairEngine
+
+        ctx.emit("repair.start", pipeline=request.pipeline, seed=request.seed)
+        engine = RepairEngine(request.pipeline)
+        validate = request.validate if request.validate is not None else False
+        report = engine.execute(
+            request.instance, plan, rng=request.seed, validate=validate
+        )
+        ctx.emit(
+            "repair.done", rounds=report.rounds, completed=report.completed
+        )
+        return {
+            "format": REPAIR_RESPONSE_FORMAT,
+            "completed": report.completed,
+            "rounds": report.rounds,
+            "replans": report.replans,
+            "makespan": report.makespan,
+            "total_cost": report.total_cost,
+            "wasted_cost": report.wasted_cost,
+            "dummy_transfers": report.dummy_transfers,
+            "fault_free_cost": report.fault_free_cost,
+            "fault_free_makespan": report.fault_free_makespan,
+            "backoff_total": report.backoff_total,
+            "applied_schedule": schedule_to_dict(report.applied_schedule()),
+        }
+
+    # ------------------------------------------------------------------
+    # GET /v1/jobs/{id} and DELETE /v1/jobs/{id}
+    # ------------------------------------------------------------------
+    def job(self, job_id: str, since: int = 0) -> Tuple[int, Dict[str, Any]]:
+        """The ``rtsp-job/1`` status view with an event cursor."""
+        self._count("serve.requests.jobs")
+        try:
+            job = self.queue.get(job_id)
+        except JobNotFound as exc:
+            return self._error(exc)
+        return 200, job.snapshot(since=since)
+
+    def cancel_job(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
+        """Request cancellation; returns the (possibly updated) view."""
+        self._count("serve.requests.jobs")
+        try:
+            job = self.queue.get(job_id)
+            accepted = self.queue.cancel(job_id)
+        except JobNotFound as exc:
+            return self._error(exc)
+        payload = job.snapshot()
+        payload["cancel_accepted"] = accepted
+        return (202 if accepted else 409), payload
+
+    # ------------------------------------------------------------------
+    # GET /healthz and GET /metrics
+    # ------------------------------------------------------------------
+    def healthz(self) -> Tuple[int, Dict[str, Any]]:
+        """Liveness plus queue/cache occupancy."""
+        self._count("serve.requests.health")
+        return 200, {
+            "format": HEALTH_FORMAT,
+            "status": "ok",
+            "jobs": self.queue.counts(),
+            "cache": {
+                "plan": self.plan_cache.stats(),
+                "topology": self.topologies.stats(),
+            },
+            "uptime_seconds": time.monotonic() - self._started,
+        }
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the service registry."""
+        self._count("serve.requests.metrics")
+        # A deep-instrumented job may be registering instruments while
+        # we snapshot; registries are plain dicts, so retry the rare
+        # changed-size race instead of locking the builder hot path.
+        for _ in range(5):
+            try:
+                snapshot = self.metrics.snapshot()
+                break
+            except RuntimeError:  # pragma: no cover - timing-dependent
+                continue
+        else:  # pragma: no cover - timing-dependent
+            snapshot = self.metrics.snapshot()
+        return prometheus_text(snapshot)
+
+    # ------------------------------------------------------------------
+    # shared error path
+    # ------------------------------------------------------------------
+    def _error(self, exc: BaseException) -> Tuple[int, Dict[str, Any]]:
+        status, code = _status_for(exc)
+        if status >= 500:
+            self._count("serve.responses.5xx")
+        else:
+            self._count("serve.responses.4xx")
+        return status, error_payload(status, code, str(exc))

@@ -79,6 +79,17 @@ class CostMatrixStore:
     def shape(self):
         return self._matrix.shape
 
+    @property
+    def matrix(self) -> np.ndarray:
+        """The full matrix (a read-only memmap view when spilled).
+
+        Callers that need the whole matrix — e.g. the serve layer
+        rebuilding an instance from a placement delta — read through
+        the page cache instead of forcing a dense copy; use
+        :meth:`slice` for shard submatrices.
+        """
+        return self._matrix
+
     def slice(self, indices: Sequence[int]) -> np.ndarray:
         """The dense ``len(indices) x len(indices)`` submatrix.
 

@@ -126,6 +126,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="corpus directory (default: tests/golden/exact)",
     )
 
+    p = sub.add_parser(
+        "serve",
+        help="run the HTTP planning service (POST /v1/plan, /v1/validate, "
+        "/v1/repair; GET /v1/jobs/{id}, /healthz, /metrics)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=8323, help="bind port (0: any)")
+    p.add_argument(
+        "--workers", type=int, default=2,
+        help="planning worker threads (bounds concurrent plan CPU)",
+    )
+    p.add_argument(
+        "--max-pending", type=int, default=64,
+        help="queued-job bound; submissions beyond it get 429",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="default per-job timeout (requests may set their own)",
+    )
+    p.add_argument(
+        "--plan-cache", type=int, default=128, metavar="N",
+        help="finished plan responses kept for byte-identical replay",
+    )
+    p.add_argument(
+        "--topology-cache", type=int, default=32, metavar="N",
+        help="cost matrices kept for delta re-planning",
+    )
+    p.add_argument("--quiet", action="store_true", help="no startup banner")
+
     p = sub.add_parser("analyze", help="feasibility + cost bounds of an instance")
     p.add_argument("--instance", required=True)
 
@@ -320,6 +349,21 @@ def _cmd_golden(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve import ServeConfig, run_server
+
+    config = ServeConfig(
+        workers=args.workers,
+        max_pending=args.max_pending,
+        default_timeout=args.timeout,
+        plan_cache_entries=args.plan_cache,
+        topology_entries=args.topology_cache,
+    )
+    return run_server(
+        host=args.host, port=args.port, config=config, quiet=args.quiet
+    )
+
+
 def _cmd_analyze(args) -> int:
     instance = load_instance(args.instance)
     summary = analyze_feasibility(instance)
@@ -380,6 +424,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace-summary": _cmd_trace_summary,
         "exact": _cmd_exact,
         "golden": _cmd_golden,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

@@ -1,0 +1,35 @@
+"""Shared fixtures for the serve test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.instance import RtspInstance
+from repro.serve import PlanningService, ServeConfig, ServerHandle
+from repro.workloads import paper_instance
+
+
+@pytest.fixture(scope="module")
+def small_instance() -> RtspInstance:
+    """A 10x30 paper-shaped instance (fast to plan, non-trivial)."""
+    return paper_instance(replicas=2, num_servers=10, num_objects=30, rng=0)
+
+
+@pytest.fixture(scope="module")
+def other_instance() -> RtspInstance:
+    """A second instance with a different topology."""
+    return paper_instance(replicas=2, num_servers=8, num_objects=20, rng=5)
+
+
+@pytest.fixture
+def service():
+    """A fresh two-worker service, shut down after the test."""
+    with PlanningService(ServeConfig(workers=2, max_pending=16)) as svc:
+        yield svc
+
+
+@pytest.fixture
+def server():
+    """A live loopback HTTP server, stopped after the test."""
+    with ServerHandle.start(config=ServeConfig(workers=2)) as handle:
+        yield handle

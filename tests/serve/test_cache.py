@@ -1,0 +1,141 @@
+"""Topology hashing, cost-matrix store and plan-cache behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.cache import (
+    PlanCache,
+    TopologyStore,
+    instance_fingerprint,
+    topology_hash,
+)
+
+
+class TestTopologyHash:
+    def test_deterministic_and_dtype_canonical(self, small_instance):
+        costs = small_instance.costs
+        assert topology_hash(costs) == topology_hash(costs.copy())
+        # float32 input normalises to the float64 hash when values agree
+        assert topology_hash(costs) == topology_hash(
+            costs.astype(np.float32).astype(np.float64)
+        )
+        assert topology_hash(costs).startswith("sha256:")
+
+    def test_differs_on_any_entry(self, small_instance):
+        perturbed = small_instance.costs.copy()
+        perturbed[0, 1] += 1.0
+        assert topology_hash(small_instance.costs) != topology_hash(perturbed)
+
+    def test_fingerprint_separates_topology_collisions(
+        self, small_instance
+    ):
+        """Same costs + different placements: topology hashes collide
+        (that is the reuse), fingerprints must not."""
+        from repro.model.instance import RtspInstance
+
+        x_old = small_instance.x_old.copy()
+        sibling = RtspInstance.create(
+            sizes=small_instance.sizes,
+            capacities=small_instance.capacities,
+            costs=small_instance.costs,
+            x_old=x_old,
+            x_new=x_old.copy(),  # no-op transition, same topology
+        )
+        assert topology_hash(sibling.costs) == topology_hash(
+            small_instance.costs
+        )
+        assert instance_fingerprint(sibling) != instance_fingerprint(
+            small_instance
+        )
+
+
+class TestTopologyStore:
+    def test_register_get_round_trip(self, small_instance):
+        with TopologyStore(max_entries=4) as store:
+            key, created = store.register(small_instance.costs)
+            assert created
+            again, created2 = store.register(small_instance.costs)
+            assert again == key and not created2
+            matrix = store.get(key)
+            np.testing.assert_array_equal(matrix, small_instance.costs)
+            assert store.stats()["hits"] == 1
+            assert store.get("sha256:" + "0" * 64) is None
+            assert store.stats()["misses"] == 1
+
+    def test_lru_eviction(self):
+        with TopologyStore(max_entries=2) as store:
+            keys = []
+            for n in (3, 4, 5):
+                costs = np.zeros((n, n))
+                costs += np.arange(n)
+                np.fill_diagonal(costs, 0.0)
+                key, _ = store.register(costs)
+                keys.append(key)
+            assert len(store) == 2
+            assert keys[0] not in store  # oldest evicted
+            assert keys[1] in store and keys[2] in store
+
+    def test_forced_spill_and_close_unlinks(self, small_instance):
+        store = TopologyStore(max_entries=2, spill=True)
+        key, _ = store.register(small_instance.costs)
+        assert store.stats()["spilled"] == 1
+        matrix = store.get(key)
+        np.testing.assert_array_equal(matrix, small_instance.costs)
+        store.close()
+        assert len(store) == 0
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            TopologyStore(max_entries=0)
+
+
+class TestCostMatrixStoreMatrixProperty:
+    def test_matrix_property_spilled_and_in_ram(self, small_instance):
+        from repro.shard.mmapcost import CostMatrixStore
+
+        in_ram = CostMatrixStore.from_matrix(small_instance.costs, spill=False)
+        np.testing.assert_array_equal(in_ram.matrix, small_instance.costs)
+        with CostMatrixStore.from_matrix(
+            small_instance.costs, spill=True
+        ) as spilled:
+            assert spilled.spilled
+            np.testing.assert_array_equal(
+                np.asarray(spilled.matrix), small_instance.costs
+            )
+
+
+class TestPlanCache:
+    def test_hit_returns_fresh_copies(self):
+        cache = PlanCache(max_entries=4)
+        key = PlanCache.key("sha256:f", "GOLCF", 0, None)
+        assert cache.get(key) is None
+        cache.put(key, {"cost": 1.0, "schedule": {"actions": [["D", 0, 1]]}})
+        first = cache.get(key)
+        first["cost"] = 999.0  # corrupting the copy must not leak back
+        second = cache.get(key)
+        assert second["cost"] == 1.0
+        assert cache.stats() == {"entries": 1, "hits": 2, "misses": 1}
+
+    def test_lru_eviction(self):
+        cache = PlanCache(max_entries=2)
+        for seed in range(3):
+            cache.put(PlanCache.key("f", "GOLCF", seed, None), {"seed": seed})
+        assert len(cache) == 2
+        assert cache.get(PlanCache.key("f", "GOLCF", 0, None)) is None
+        assert cache.get(PlanCache.key("f", "GOLCF", 2, None)) == {"seed": 2}
+
+    def test_key_separates_pipeline_seed_shards(self):
+        keys = {
+            PlanCache.key("f", "GOLCF", 0, None),
+            PlanCache.key("f", "GOLCF", 1, None),
+            PlanCache.key("f", "GOLCF+H1", 0, None),
+            PlanCache.key("f", "GOLCF", 0, 2),
+            PlanCache.key("g", "GOLCF", 0, None),
+        }
+        assert len(keys) == 5
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            PlanCache(max_entries=0)

@@ -1,0 +1,152 @@
+"""Acceptance criterion: served schedules are byte-identical to
+``build_pipeline(spec).run(instance, rng=seed)`` for the same
+(instance, pipeline, seed) — cold, cached, sharded, and over real HTTP.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_pipeline
+from repro.io import schedule_to_dict
+from repro.serve import ServeClient
+from repro.serve.schemas import PLAN_REQUEST_FORMAT, canonical_json
+
+PIPELINES = ["GOLCF", "GOLCF+H1", "GMC+H1+H2", "AR+H1+H2+OP1", "RDF+H1"]
+SEEDS = [0, 7]
+
+
+def library_bytes(instance, pipeline, seed):
+    schedule = build_pipeline(pipeline).run(instance, rng=seed)
+    return canonical_json(schedule_to_dict(schedule))
+
+
+class TestServiceByteIdentity:
+    @pytest.mark.parametrize("pipeline", PIPELINES)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_served_equals_library(
+        self, service, small_instance, pipeline, seed
+    ):
+        from repro.io import instance_to_dict
+
+        status, payload = service.plan(
+            {
+                "format": PLAN_REQUEST_FORMAT,
+                "pipeline": pipeline,
+                "seed": seed,
+                "mode": "sync",
+                "instance": instance_to_dict(small_instance),
+            }
+        )
+        assert status == 200
+        assert canonical_json(payload["schedule"]) == library_bytes(
+            small_instance, pipeline, seed
+        )
+
+    def test_cached_replay_stays_identical(self, service, small_instance):
+        from repro.io import instance_to_dict
+
+        payload = {
+            "format": PLAN_REQUEST_FORMAT,
+            "pipeline": "GOLCF+H1+H2+OP1",
+            "seed": 3,
+            "mode": "sync",
+            "instance": instance_to_dict(small_instance),
+        }
+        expected = library_bytes(small_instance, "GOLCF+H1+H2+OP1", 3)
+        _, cold = service.plan(payload)
+        _, warm = service.plan(payload)
+        assert cold["cache_hit"] is False and warm["cache_hit"] is True
+        assert canonical_json(cold["schedule"]) == expected
+        assert canonical_json(warm["schedule"]) == expected
+
+    def test_sharded_service_plan_identical(self, service, small_instance):
+        """shards=N must not change the bytes (plan_sharded contract)."""
+        from repro.io import instance_to_dict
+
+        expected = library_bytes(small_instance, "GOLCF+H1", 2)
+        for shards in (1, 2, 3):
+            status, payload = service.plan(
+                {
+                    "format": PLAN_REQUEST_FORMAT,
+                    "pipeline": "GOLCF+H1",
+                    "seed": 2,
+                    "mode": "sync",
+                    "shards": shards,
+                    "instance": instance_to_dict(small_instance),
+                }
+            )
+            assert status == 200
+            assert canonical_json(payload["schedule"]) == expected, (
+                f"shards={shards} diverged from the direct plan"
+            )
+
+    def test_delta_replan_identical(self, service, small_instance):
+        """A delta against the cached topology plans the same bytes as
+        shipping the full instance."""
+        from repro.io import instance_to_dict
+        from repro.serve.cache import topology_hash
+
+        _, full = service.plan(
+            {
+                "format": PLAN_REQUEST_FORMAT,
+                "pipeline": "GOLCF+H1",
+                "seed": 5,
+                "mode": "sync",
+                "instance": instance_to_dict(small_instance),
+            }
+        )
+        status, via_delta = service.plan(
+            {
+                "format": PLAN_REQUEST_FORMAT,
+                "pipeline": "GOLCF+H1",
+                "seed": 5,
+                "mode": "sync",
+                "delta": {
+                    "topology": topology_hash(small_instance.costs),
+                    "sizes": small_instance.sizes.tolist(),
+                    "capacities": small_instance.capacities.tolist(),
+                    "x_old": small_instance.x_old.tolist(),
+                    "x_new": small_instance.x_new.tolist(),
+                },
+            }
+        )
+        assert status == 200
+        assert canonical_json(via_delta["schedule"]) == canonical_json(
+            full["schedule"]
+        )
+        assert canonical_json(via_delta["schedule"]) == library_bytes(
+            small_instance, "GOLCF+H1", 5
+        )
+
+
+class TestHttpByteIdentity:
+    @pytest.mark.parametrize("pipeline", ["GOLCF+H1", "GSDF+H1+H2"])
+    def test_over_real_http(self, server, other_instance, pipeline):
+        client = ServeClient(server.url, timeout=30.0)
+        status, payload = client.plan(
+            instance=other_instance, pipeline=pipeline, seed=4
+        )
+        assert status == 200
+        assert canonical_json(payload["schedule"]) == library_bytes(
+            other_instance, pipeline, 4
+        )
+
+    def test_async_result_identical(self, server, other_instance):
+        import time
+
+        client = ServeClient(server.url, timeout=30.0)
+        status, accepted = client.plan(
+            instance=other_instance, pipeline="GOLCF+H1", seed=6, mode="async"
+        )
+        assert status == 202
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            _, view = client.job(accepted["id"])
+            if view["state"] == "done":
+                break
+        else:
+            raise AssertionError("async job never completed")
+        assert canonical_json(view["result"]["schedule"]) == library_bytes(
+            other_instance, "GOLCF+H1", 6
+        )

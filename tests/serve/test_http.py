@@ -1,0 +1,192 @@
+"""Loopback HTTP tests: routing, transport errors, polling, cancel."""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import ServeClient
+from repro.serve.schemas import (
+    ERROR_FORMAT,
+    HEALTH_FORMAT,
+    JOB_FORMAT,
+    PLAN_RESPONSE_FORMAT,
+    REPAIR_RESPONSE_FORMAT,
+    VALIDATE_RESPONSE_FORMAT,
+    check_response_format,
+)
+
+PIPELINE = "GOLCF+H1"
+
+
+@pytest.fixture
+def client(server):
+    return ServeClient(server.url, timeout=30.0)
+
+
+def poll_until_done(client, job_id, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, payload = client.job(job_id)
+        assert status == 200
+        if payload["state"] in ("done", "failed", "cancelled", "timeout"):
+            return payload
+    raise AssertionError(f"{job_id} never reached a terminal state")
+
+
+class TestRoutes:
+    def test_healthz(self, client):
+        status, payload = client.healthz()
+        assert status == 200
+        check_response_format(payload, HEALTH_FORMAT)
+
+    def test_plan_sync(self, client, small_instance):
+        status, payload = client.plan(
+            instance=small_instance, pipeline=PIPELINE, seed=1
+        )
+        assert status == 200
+        check_response_format(payload, PLAN_RESPONSE_FORMAT)
+
+    def test_validate(self, client, small_instance):
+        from repro.core import build_pipeline
+        from repro.io import schedule_to_dict
+
+        schedule = build_pipeline(PIPELINE).run(small_instance, rng=0)
+        status, payload = client.validate(
+            small_instance, schedule_to_dict(schedule), strict=True
+        )
+        assert status == 200
+        check_response_format(payload, VALIDATE_RESPONSE_FORMAT)
+        assert payload["ok"] is True
+
+    def test_repair(self, client, small_instance):
+        status, payload = client.repair(
+            small_instance,
+            {
+                "format": "rtsp-fault-plan/1",
+                "transfer_faults": [1],
+                "crashes": [],
+                "slowdowns": [],
+            },
+            pipeline=PIPELINE,
+        )
+        assert status == 200
+        check_response_format(payload, REPAIR_RESPONSE_FORMAT)
+        assert payload["completed"] is True
+
+    def test_metrics_exposition_parses(self, client, small_instance):
+        client.plan(instance=small_instance, pipeline=PIPELINE)
+        status, text = client.metrics()
+        assert status == 200
+        assert isinstance(text, str) and "# TYPE" in text
+        parsed = client.metrics_parsed()
+        assert parsed["counters"]["rtsp_serve_requests_plan"] >= 1.0
+
+
+class TestAsyncOverHttp:
+    def test_async_job_lifecycle(self, client, small_instance):
+        status, accepted = client.plan(
+            instance=small_instance, pipeline=PIPELINE, seed=9, mode="async"
+        )
+        assert status == 202
+        check_response_format(accepted, JOB_FORMAT)
+        final = poll_until_done(client, accepted["id"])
+        assert final["state"] == "done"
+        check_response_format(final["result"], PLAN_RESPONSE_FORMAT)
+
+    def test_since_cursor_over_http(self, client, small_instance):
+        _, accepted = client.plan(
+            instance=small_instance, pipeline=PIPELINE, seed=10, mode="async"
+        )
+        final = poll_until_done(client, accepted["id"])
+        status, page = client.job(accepted["id"], since=final["next_seq"])
+        assert status == 200
+        assert page["events"] == []
+        assert page["next_seq"] == final["next_seq"]
+
+    def test_cancel_done_job_409(self, client, small_instance):
+        _, accepted = client.plan(
+            instance=small_instance, pipeline=PIPELINE, seed=11, mode="async"
+        )
+        poll_until_done(client, accepted["id"])
+        status, payload = client.cancel(accepted["id"])
+        assert status == 409
+        assert payload["cancel_accepted"] is False
+
+    def test_unknown_job_404(self, client):
+        status, payload = client.job("job-999999")
+        assert status == 404
+        check_response_format(payload, ERROR_FORMAT)
+        status, payload = client.cancel("job-999999")
+        assert status == 404
+
+
+class TestTransportErrors:
+    def test_unknown_route_404(self, client):
+        status, payload = client.request("GET", "/v2/everything")
+        assert status == 404
+        check_response_format(payload, ERROR_FORMAT)
+
+    def test_post_to_get_route_405(self, client):
+        status, payload = client.request("POST", "/healthz", {})
+        assert status == 405
+        assert payload["error"] == "method-not-allowed"
+
+    def test_delete_non_job_route_404(self, client):
+        status, payload = client.request("DELETE", "/v1/plan")
+        assert status == 404
+
+    def test_bad_json_body_400(self, server):
+        req = urllib.request.Request(
+            server.url + "/v1/plan",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=10.0) as resp:
+                status, body = resp.status, resp.read()
+        except urllib.error.HTTPError as exc:
+            status, body = exc.code, exc.read()
+        assert status == 400
+        assert json.loads(body)["error"] == "bad-json"
+
+    def test_oversized_body_413(self, small_instance):
+        from repro.serve import PlanningService, ServeConfig, ServerHandle
+
+        service = PlanningService(ServeConfig(workers=1, max_body_bytes=64))
+        with ServerHandle.start(service=service) as handle:
+            client = ServeClient(handle.url, timeout=10.0)
+            status, payload = client.plan(
+                instance=small_instance, pipeline=PIPELINE
+            )
+            assert status == 413
+            assert payload["error"] == "payload-too-large"
+
+    def test_malformed_request_400(self, client):
+        status, payload = client.plan_raw({"format": "rtsp-plan-request/9"})
+        assert status == 400
+        check_response_format(payload, ERROR_FORMAT)
+
+    def test_bad_since_param_400(self, client):
+        status, payload = client.request("GET", "/v1/jobs/job-000001?since=x")
+        assert status == 400
+        assert payload["error"] == "bad-request"
+
+
+class TestKeepAlive:
+    def test_many_requests_one_client(self, client, small_instance):
+        """The handler sets Content-Length on every response, so a
+        keep-alive client can issue many sequential requests."""
+        for seed in range(5):
+            status, payload = client.plan(
+                instance=small_instance, pipeline=PIPELINE, seed=seed
+            )
+            assert status == 200
+        status, health = client.healthz()
+        assert status == 200
+        assert health["jobs"]["done"] >= 5

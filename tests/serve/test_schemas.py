@@ -1,0 +1,272 @@
+"""Round-trip and strictness tests for the serve wire schemas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.io import instance_to_dict, schedule_to_dict
+from repro.core import build_pipeline
+from repro.serve.schemas import (
+    BATCH_REQUEST_FORMAT,
+    PLAN_REQUEST_FORMAT,
+    PLAN_RESPONSE_FORMAT,
+    VALIDATE_REQUEST_FORMAT,
+    REPAIR_REQUEST_FORMAT,
+    PlacementDelta,
+    SchemaError,
+    batch_request_from_dict,
+    canonical_json,
+    check_response_format,
+    error_payload,
+    plan_request_from_dict,
+    plan_request_to_dict,
+    repair_request_from_dict,
+    repair_request_to_dict,
+    validate_request_from_dict,
+    validate_request_to_dict,
+)
+
+
+def plan_payload(small_instance, **over):
+    payload = {
+        "format": PLAN_REQUEST_FORMAT,
+        "pipeline": "GOLCF+H1",
+        "seed": 3,
+        "mode": "sync",
+        "instance": instance_to_dict(small_instance),
+    }
+    payload.update(over)
+    return payload
+
+
+class TestPlanRequest:
+    def test_round_trip(self, small_instance):
+        original = plan_payload(
+            small_instance, shards=2, validate="strict", timeout_seconds=5.0
+        )
+        request = plan_request_from_dict(original)
+        assert request.pipeline == "GOLCF+H1"
+        assert request.seed == 3
+        assert request.shards == 2
+        assert request.validate == "strict"
+        assert request.timeout_seconds == 5.0
+        back = plan_request_to_dict(request)
+        # The embedded instance re-serialises identically, so the wire
+        # form survives a full parse/serialise cycle byte-for-byte.
+        assert canonical_json(back) == canonical_json(original)
+
+    def test_delta_round_trip(self, small_instance):
+        delta = {
+            "topology": "sha256:" + "0" * 64,
+            "sizes": small_instance.sizes.tolist(),
+            "capacities": small_instance.capacities.tolist(),
+            "x_old": small_instance.x_old.tolist(),
+            "x_new": small_instance.x_new.tolist(),
+        }
+        payload = {
+            "format": PLAN_REQUEST_FORMAT,
+            "pipeline": "GOLCF",
+            "seed": 0,
+            "mode": "sync",
+            "delta": delta,
+        }
+        request = plan_request_from_dict(payload)
+        assert request.instance is None
+        assert isinstance(request.delta, PlacementDelta)
+        back = plan_request_to_dict(request)
+        assert canonical_json(back) == canonical_json(payload)
+
+    def test_defaults(self, small_instance):
+        request = plan_request_from_dict(
+            {
+                "format": PLAN_REQUEST_FORMAT,
+                "instance": instance_to_dict(small_instance),
+            }
+        )
+        assert request.pipeline == "GOLCF+H1+H2+OP1"
+        assert request.seed == 0
+        assert request.mode == "sync"
+        assert request.shards is None
+        assert request.validate is None
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            {"format": "rtsp-plan-request/2"},
+            {"format": None},
+            {"mode": "eventually"},
+            {"seed": "zero"},
+            {"seed": True},
+            {"shards": 0},
+            {"validate": "paranoid"},
+            {"timeout_seconds": -1},
+            {"timeout_seconds": "fast"},
+            {"pipeline": ""},
+            {"surprise": 1},
+        ],
+    )
+    def test_rejects_bad_fields(self, small_instance, mutation):
+        payload = plan_payload(small_instance)
+        payload.update(mutation)
+        with pytest.raises(SchemaError):
+            plan_request_from_dict(payload)
+
+    def test_rejects_both_instance_and_delta(self, small_instance):
+        payload = plan_payload(small_instance)
+        payload["delta"] = {
+            "topology": "sha256:x",
+            "sizes": [1.0],
+            "capacities": [1.0],
+            "x_old": [[1]],
+            "x_new": [[1]],
+        }
+        with pytest.raises(SchemaError, match="exactly one"):
+            plan_request_from_dict(payload)
+
+    def test_rejects_neither_instance_nor_delta(self):
+        with pytest.raises(SchemaError, match="exactly one"):
+            plan_request_from_dict({"format": PLAN_REQUEST_FORMAT})
+
+    def test_rejects_corrupt_instance(self, small_instance):
+        payload = plan_payload(small_instance)
+        payload["instance"] = {"format": "rtsp-instance/1", "sizes": [1]}
+        with pytest.raises(SchemaError, match="instance"):
+            plan_request_from_dict(payload)
+
+    def test_rejects_non_object(self):
+        with pytest.raises(SchemaError):
+            plan_request_from_dict(["not", "an", "object"])
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            {"sizes": []},
+            {"sizes": ["big"]},
+            {"x_old": [[2]]},
+            {"x_old": [[1], [0, 1]]},
+            {"topology": ""},
+            {"extra": 1},
+        ],
+    )
+    def test_delta_strictness(self, small_instance, mutation):
+        delta = {
+            "topology": "sha256:abc",
+            "sizes": [1.0],
+            "capacities": [2.0],
+            "x_old": [[1]],
+            "x_new": [[1]],
+        }
+        delta.update(mutation)
+        with pytest.raises(SchemaError):
+            PlacementDelta.from_dict(delta)
+
+
+class TestBatchRequest:
+    def test_round_trip(self, small_instance):
+        batch = {
+            "format": BATCH_REQUEST_FORMAT,
+            "requests": [plan_payload(small_instance, seed=s) for s in (0, 1)],
+        }
+        requests = batch_request_from_dict(batch)
+        assert [r.seed for r in requests] == [0, 1]
+
+    def test_one_bad_entry_rejects_batch(self, small_instance):
+        batch = {
+            "format": BATCH_REQUEST_FORMAT,
+            "requests": [
+                plan_payload(small_instance),
+                {"format": PLAN_REQUEST_FORMAT},
+            ],
+        }
+        with pytest.raises(SchemaError, match=r"requests\[1\]"):
+            batch_request_from_dict(batch)
+
+    def test_rejects_async_entries(self, small_instance):
+        batch = {
+            "format": BATCH_REQUEST_FORMAT,
+            "requests": [plan_payload(small_instance, mode="async")],
+        }
+        with pytest.raises(SchemaError, match="sync"):
+            batch_request_from_dict(batch)
+
+    def test_rejects_empty(self):
+        with pytest.raises(SchemaError):
+            batch_request_from_dict(
+                {"format": BATCH_REQUEST_FORMAT, "requests": []}
+            )
+
+
+class TestValidateAndRepairRequests:
+    def test_validate_round_trip(self, small_instance):
+        schedule = build_pipeline("GOLCF").run(small_instance, rng=0)
+        payload = {
+            "format": VALIDATE_REQUEST_FORMAT,
+            "instance": instance_to_dict(small_instance),
+            "schedule": schedule_to_dict(schedule),
+            "strict": True,
+        }
+        request = validate_request_from_dict(payload)
+        assert request.strict is True
+        assert canonical_json(validate_request_to_dict(request)) == (
+            canonical_json(payload)
+        )
+
+    def test_validate_rejects_non_bool_strict(self, small_instance):
+        payload = {
+            "format": VALIDATE_REQUEST_FORMAT,
+            "instance": instance_to_dict(small_instance),
+            "schedule": {"format": "rtsp-schedule/1", "actions": []},
+            "strict": "yes",
+        }
+        with pytest.raises(SchemaError, match="strict"):
+            validate_request_from_dict(payload)
+
+    def test_repair_round_trip(self, small_instance):
+        payload = {
+            "format": REPAIR_REQUEST_FORMAT,
+            "instance": instance_to_dict(small_instance),
+            "fault_plan": {"format": "rtsp-fault-plan/1"},
+            "pipeline": "GOLCF+H1",
+            "seed": 2,
+            "validate": "basic",
+        }
+        request = repair_request_from_dict(payload)
+        assert request.pipeline == "GOLCF+H1"
+        assert canonical_json(repair_request_to_dict(request)) == (
+            canonical_json(payload)
+        )
+
+    def test_repair_rejects_unknown_keys(self, small_instance):
+        payload = {
+            "format": REPAIR_REQUEST_FORMAT,
+            "instance": instance_to_dict(small_instance),
+            "fault_plan": {},
+            "rate": 0.5,
+        }
+        with pytest.raises(SchemaError, match="unknown keys"):
+            repair_request_from_dict(payload)
+
+
+class TestResponseChecking:
+    def test_error_payload_shape(self):
+        payload = error_payload(404, "unknown-job", "no such job")
+        checked = check_response_format(payload, "rtsp-error/1")
+        assert checked["status"] == 404
+
+    def test_missing_keys_listed(self):
+        with pytest.raises(SchemaError, match="missing keys"):
+            check_response_format(
+                {"format": PLAN_RESPONSE_FORMAT, "job_id": "x"},
+                PLAN_RESPONSE_FORMAT,
+            )
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(SchemaError, match="expected format"):
+            check_response_format(
+                {"format": "rtsp-error/1"}, PLAN_RESPONSE_FORMAT
+            )
+
+    def test_canonical_json_is_order_independent(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == canonical_json(
+            {"a": [1, 2], "b": 1}
+        )

@@ -1,0 +1,381 @@
+"""PlanningService endpoint behaviour (no sockets involved)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import build_pipeline
+from repro.io import instance_to_dict, schedule_to_dict
+from repro.serve import ServeConfig, PlanningService
+from repro.serve.cache import topology_hash
+from repro.serve.schemas import (
+    BATCH_REQUEST_FORMAT,
+    BATCH_RESPONSE_FORMAT,
+    ERROR_FORMAT,
+    HEALTH_FORMAT,
+    JOB_FORMAT,
+    PLAN_REQUEST_FORMAT,
+    PLAN_RESPONSE_FORMAT,
+    REPAIR_REQUEST_FORMAT,
+    REPAIR_RESPONSE_FORMAT,
+    VALIDATE_REQUEST_FORMAT,
+    VALIDATE_RESPONSE_FORMAT,
+    check_response_format,
+)
+
+PIPELINE = "GOLCF+H1"
+
+
+def plan_payload(instance, **over):
+    payload = {
+        "format": PLAN_REQUEST_FORMAT,
+        "pipeline": PIPELINE,
+        "seed": 3,
+        "mode": "sync",
+        "instance": instance_to_dict(instance),
+    }
+    payload.update(over)
+    return payload
+
+
+def wait_terminal(service, job_id, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, payload = service.job(job_id)
+        assert status == 200
+        if payload["state"] in ("done", "failed", "cancelled", "timeout"):
+            return payload
+        time.sleep(0.01)
+    raise AssertionError(f"{job_id} never reached a terminal state")
+
+
+class TestPlanSync:
+    def test_plan_returns_valid_response(self, service, small_instance):
+        status, payload = service.plan(plan_payload(small_instance))
+        assert status == 200
+        check_response_format(payload, PLAN_RESPONSE_FORMAT)
+        assert payload["pipeline"] == PIPELINE
+        assert payload["seed"] == 3
+        assert payload["cache_hit"] is False
+        assert payload["topology"] == topology_hash(small_instance.costs)
+        assert payload["num_actions"] == len(payload["schedule"]["actions"])
+
+    def test_replay_hits_cache(self, service, small_instance):
+        _, cold = service.plan(plan_payload(small_instance))
+        status, warm = service.plan(plan_payload(small_instance))
+        assert status == 200
+        assert warm["cache_hit"] is True
+        assert warm["schedule"] == cold["schedule"]
+        assert warm["cost"] == cold["cost"]
+
+    def test_cache_misses_across_seed_and_pipeline(
+        self, service, small_instance
+    ):
+        service.plan(plan_payload(small_instance))
+        _, other_seed = service.plan(plan_payload(small_instance, seed=4))
+        assert other_seed["cache_hit"] is False
+        _, other_pipe = service.plan(
+            plan_payload(small_instance, pipeline="GOLCF")
+        )
+        assert other_pipe["cache_hit"] is False
+
+    def test_topology_collision_does_not_cross_contaminate(
+        self, service, small_instance
+    ):
+        """Two instances sharing a cost matrix share the topology entry
+        but must not share plan-cache entries."""
+        from repro.model.instance import RtspInstance
+
+        sibling = RtspInstance.create(
+            sizes=small_instance.sizes,
+            capacities=small_instance.capacities,
+            costs=small_instance.costs,
+            x_old=small_instance.x_old,
+            x_new=small_instance.x_old,  # different target placement
+        )
+        _, first = service.plan(plan_payload(small_instance))
+        status, second = service.plan(plan_payload(sibling))
+        assert status == 200
+        assert second["cache_hit"] is False  # same topology, new fingerprint
+        assert second["topology"] == first["topology"]
+        assert second["fingerprint"] != first["fingerprint"]
+        assert service.topologies.stats()["entries"] == 1
+
+    def test_sharded_plan_matches_direct(self, service, small_instance):
+        _, direct = service.plan(plan_payload(small_instance))
+        status, sharded = service.plan(plan_payload(small_instance, shards=2))
+        assert status == 200
+        assert sharded["shards"] == 2
+        assert sharded["cache_hit"] is False  # shards is part of the key
+        assert sharded["schedule"] == direct["schedule"]
+
+    def test_inline_validation_modes(self, service, small_instance):
+        for mode in ("basic", "strict"):
+            status, payload = service.plan(
+                plan_payload(small_instance, seed=7, validate=mode)
+            )
+            assert status == 200, payload
+
+
+class TestPlanDelta:
+    def test_delta_replans_against_cached_matrix(
+        self, service, small_instance
+    ):
+        _, full = service.plan(plan_payload(small_instance))
+        delta = {
+            "topology": full["topology"],
+            "sizes": small_instance.sizes.tolist(),
+            "capacities": small_instance.capacities.tolist(),
+            "x_old": small_instance.x_old.tolist(),
+            "x_new": small_instance.x_new.tolist(),
+        }
+        status, replanned = service.plan(
+            {
+                "format": PLAN_REQUEST_FORMAT,
+                "pipeline": PIPELINE,
+                "seed": 3,
+                "mode": "sync",
+                "delta": delta,
+            }
+        )
+        assert status == 200
+        # identical placement data -> identical fingerprint -> cache hit
+        assert replanned["cache_hit"] is True
+        assert replanned["schedule"] == full["schedule"]
+
+    def test_unknown_topology_404(self, service, small_instance):
+        status, payload = service.plan(
+            {
+                "format": PLAN_REQUEST_FORMAT,
+                "mode": "sync",
+                "delta": {
+                    "topology": "sha256:" + "0" * 64,
+                    "sizes": small_instance.sizes.tolist(),
+                    "capacities": small_instance.capacities.tolist(),
+                    "x_old": small_instance.x_old.tolist(),
+                    "x_new": small_instance.x_new.tolist(),
+                },
+            }
+        )
+        assert status == 404
+        check_response_format(payload, ERROR_FORMAT)
+        assert payload["error"] == "unknown-topology"
+
+
+class TestPlanAsync:
+    def test_async_plan_completes_via_polling(self, service, small_instance):
+        status, accepted = service.plan(
+            plan_payload(small_instance, mode="async")
+        )
+        assert status == 202
+        check_response_format(accepted, JOB_FORMAT)
+        final = wait_terminal(service, accepted["id"])
+        assert final["state"] == "done"
+        check_response_format(final["result"], PLAN_RESPONSE_FORMAT)
+        names = [e["name"] for e in final["events"]]
+        assert "plan.start" in names or "plan.cached" in names
+
+    def test_event_cursor_pagination(self, service, small_instance):
+        _, accepted = service.plan(plan_payload(small_instance, mode="async"))
+        final = wait_terminal(service, accepted["id"])
+        cursor = final["events"][1]["seq"]
+        status, page = service.job(accepted["id"], since=cursor)
+        assert status == 200
+        assert all(e["seq"] >= cursor for e in page["events"])
+        assert len(page["events"]) == len(final["events"]) - 1
+
+    def test_cancel_unknown_job_404(self, service):
+        status, payload = service.cancel_job("job-424242")
+        assert status == 404
+        assert payload["error"] == "unknown-job"
+
+    def test_cancel_finished_job_409(self, service, small_instance):
+        _, accepted = service.plan(plan_payload(small_instance, mode="async"))
+        wait_terminal(service, accepted["id"])
+        status, payload = service.cancel_job(accepted["id"])
+        assert status == 409
+        assert payload["cancel_accepted"] is False
+        assert payload["state"] == "done"
+
+
+class TestPlanErrors:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"format": "nonsense"},
+            {"format": PLAN_REQUEST_FORMAT},  # no instance/delta
+            ["not", "a", "mapping"],
+            {"format": PLAN_REQUEST_FORMAT, "instance": {"format": "x"}},
+        ],
+    )
+    def test_malformed_requests_400(self, service, payload):
+        status, body = service.plan(payload)
+        assert status == 400
+        check_response_format(body, ERROR_FORMAT)
+        assert body["error"] == "bad-request"
+
+    def test_unknown_pipeline_400(self, service, small_instance):
+        status, body = service.plan(
+            plan_payload(small_instance, pipeline="MAGIC+H9")
+        )
+        assert status == 400
+        assert body["error"] == "bad-request"
+
+    def test_error_counter_bumped(self, service):
+        before = service.metrics.counter("serve.responses.4xx").value
+        service.plan({"format": "nonsense"})
+        assert service.metrics.counter("serve.responses.4xx").value == (
+            before + 1
+        )
+
+
+class TestBatch:
+    def test_all_entries_succeed(self, service, small_instance, other_instance):
+        status, payload = service.plan(
+            {
+                "format": BATCH_REQUEST_FORMAT,
+                "requests": [
+                    plan_payload(small_instance, seed=0),
+                    plan_payload(other_instance, seed=1),
+                ],
+            }
+        )
+        assert status == 200
+        check_response_format(payload, BATCH_RESPONSE_FORMAT)
+        assert [entry["status"] for entry in payload["responses"]] == [200, 200]
+        seeds = [e["response"]["seed"] for e in payload["responses"]]
+        assert seeds == [0, 1]
+
+    def test_mixed_results_207(self, service, small_instance):
+        status, payload = service.plan(
+            {
+                "format": BATCH_REQUEST_FORMAT,
+                "requests": [
+                    plan_payload(small_instance),
+                    plan_payload(small_instance, pipeline="MAGIC"),
+                ],
+            }
+        )
+        assert status == 207
+        statuses = [entry["status"] for entry in payload["responses"]]
+        assert statuses == [200, 400]
+
+    def test_unparseable_batch_400(self, service, small_instance):
+        status, payload = service.plan(
+            {
+                "format": BATCH_REQUEST_FORMAT,
+                "requests": [{"format": PLAN_REQUEST_FORMAT}],
+            }
+        )
+        assert status == 400
+        check_response_format(payload, ERROR_FORMAT)
+
+
+class TestValidateEndpoint:
+    def test_valid_schedule_passes_strict(self, service, small_instance):
+        schedule = build_pipeline(PIPELINE).run(small_instance, rng=0)
+        status, payload = service.validate(
+            {
+                "format": VALIDATE_REQUEST_FORMAT,
+                "instance": instance_to_dict(small_instance),
+                "schedule": schedule_to_dict(schedule),
+                "strict": True,
+            }
+        )
+        assert status == 200
+        check_response_format(payload, VALIDATE_RESPONSE_FORMAT)
+        assert payload["ok"] is True
+        assert payload["violations"] == []
+        assert payload["num_actions"] == len(schedule)
+
+    def test_corrupted_schedule_reports_violation(
+        self, service, small_instance
+    ):
+        schedule = build_pipeline(PIPELINE).run(small_instance, rng=0)
+        data = schedule_to_dict(schedule)
+        data["actions"] = data["actions"][1:]  # drop a prefix action
+        status, payload = service.validate(
+            {
+                "format": VALIDATE_REQUEST_FORMAT,
+                "instance": instance_to_dict(small_instance),
+                "schedule": data,
+                "strict": False,
+            }
+        )
+        assert status == 200
+        assert payload["ok"] is False
+        assert payload["violations"]
+        assert payload["violations"][0]["rule"] == "model-replay"
+
+    def test_malformed_validate_400(self, service):
+        status, payload = service.validate({"format": "rtsp-validate-request/9"})
+        assert status == 400
+        check_response_format(payload, ERROR_FORMAT)
+
+
+class TestRepairEndpoint:
+    def test_repair_round_trip(self, service, small_instance):
+        status, payload = service.repair(
+            {
+                "format": REPAIR_REQUEST_FORMAT,
+                "instance": instance_to_dict(small_instance),
+                "fault_plan": {
+                    "format": "rtsp-fault-plan/1",
+                    "transfer_faults": [0, 3],
+                    "crashes": [],
+                    "slowdowns": [],
+                },
+                "pipeline": PIPELINE,
+                "seed": 1,
+                "validate": "basic",
+            }
+        )
+        assert status == 200
+        check_response_format(payload, REPAIR_RESPONSE_FORMAT)
+        assert payload["completed"] is True
+        assert payload["rounds"] >= 1
+        assert payload["applied_schedule"]["actions"]
+
+    def test_malformed_fault_plan_400(self, service, small_instance):
+        status, payload = service.repair(
+            {
+                "format": REPAIR_REQUEST_FORMAT,
+                "instance": instance_to_dict(small_instance),
+                "fault_plan": {"format": "rtsp-fault-plan/1"},
+            }
+        )
+        assert status == 400
+        check_response_format(payload, ERROR_FORMAT)
+
+
+class TestIntrospection:
+    def test_healthz_counts_jobs_and_caches(self, service, small_instance):
+        service.plan(plan_payload(small_instance))
+        status, payload = service.healthz()
+        assert status == 200
+        check_response_format(payload, HEALTH_FORMAT)
+        assert payload["status"] == "ok"
+        assert payload["jobs"]["done"] >= 1
+        assert payload["cache"]["topology"]["entries"] == 1
+        assert payload["uptime_seconds"] > 0
+
+    def test_metrics_exposition(self, service, small_instance):
+        from repro.obs.export import parse_prometheus_text
+
+        service.plan(plan_payload(small_instance))
+        service.plan(plan_payload(small_instance))
+        parsed = parse_prometheus_text(service.metrics_text())
+        assert parsed["counters"]["rtsp_serve_requests_plan"] == 2.0
+        assert parsed["counters"]["rtsp_serve_cache_plan_hits"] == 1.0
+        assert parsed["histograms"]["rtsp_serve_plan_millis"]["count"] == 2
+
+
+class TestDefaultTimeout:
+    def test_service_level_timeout_applies(self, small_instance):
+        config = ServeConfig(workers=1, default_timeout=0.0)
+        with PlanningService(config) as service:
+            status, payload = service.plan(plan_payload(small_instance))
+            assert status == 504
+            assert payload["error"] == "timeout"
